@@ -1,0 +1,42 @@
+// Shared helpers for the experiment-reproduction harnesses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "stats/rng.h"
+
+namespace whisper::bench {
+
+inline std::vector<std::uint8_t> random_bytes(std::size_t n,
+                                              std::uint64_t seed) {
+  stats::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+inline std::array<std::uint64_t, isa::kNumRegs> regs_with(
+    std::initializer_list<std::pair<isa::Reg, std::uint64_t>> kv) {
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  for (const auto& [r, v] : kv) regs[static_cast<std::size_t>(r)] = v;
+  return regs;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n%s\n%s\n", title.c_str(),
+              std::string(title.size(), '=').c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n%s\n%s\n", title.c_str(),
+              std::string(title.size(), '-').c_str());
+}
+
+inline const char* mark(bool ok) { return ok ? "✓" : "✗"; }
+
+}  // namespace whisper::bench

@@ -1,0 +1,173 @@
+// whisper_cli — interactive playground for the library.
+//
+//   whisper_cli tote   [--cpu N] [--trigger|--no-trigger] [--trace]
+//   whisper_cli leak   [--cpu N] [--secret STRING] [--attack md|rsb|v1|zbl]
+//   whisper_cli kaslr  [--cpu N] [--kpti] [--flare] [--seed S]
+//   whisper_cli matrix
+//   whisper_cli models
+//
+// CPU index N follows Table 2 order: 0=i7-6700, 1=i7-7700, 2=i9-10980XE,
+// 3=i9-13900K, 4=Ryzen 5600G.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/attacks/common.h"
+#include "core/attacks/kaslr.h"
+#include "core/attacks/meltdown.h"
+#include "core/attacks/spectre_rsb.h"
+#include "core/attacks/spectre_v1.h"
+#include "core/attacks/zombieload.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+#include "uarch/trace.h"
+
+using namespace whisper;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  bool has(const std::string& flag) const {
+    for (const auto& a : positional)
+      if (a == flag) return true;
+    return false;
+  }
+  std::string value(const std::string& flag, const std::string& dflt) const {
+    for (std::size_t i = 0; i + 1 < positional.size(); ++i)
+      if (positional[i] == flag) return positional[i + 1];
+    return dflt;
+  }
+};
+
+uarch::CpuModel cpu_from(const Args& args) {
+  const int n = std::stoi(args.value("--cpu", "1"));
+  const auto models = uarch::all_models();
+  return models[static_cast<std::size_t>(n) % models.size()];
+}
+
+int cmd_models() {
+  std::printf("%-4s %-24s %-12s %-6s %-28s\n", "idx", "name", "uarch", "TSX",
+              "vulnerabilities");
+  int i = 0;
+  for (uarch::CpuModel m : uarch::all_models()) {
+    const auto c = uarch::make_config(m);
+    std::string v;
+    if (c.meltdown_vulnerable()) v += "meltdown ";
+    if (c.mds_vulnerable()) v += "mds ";
+    if (c.tlb_fills_on_fault()) v += "tlb-fill-on-fault ";
+    std::printf("%-4d %-24s %-12s %-6s %-28s\n", i++, c.name.c_str(),
+                c.uarch_name.c_str(), c.has_tsx ? "yes" : "no", v.c_str());
+  }
+  return 0;
+}
+
+int cmd_tote(const Args& args) {
+  os::Machine m({.model = cpu_from(args)});
+  m.poke8(os::Machine::kSharedBase, 'S');
+  const auto g = core::make_tet_gadget(
+      {.window = core::preferred_window(m.config()),
+       .source = core::SecretSource::SharedMemory});
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RCX)] = core::kNullProbeAddress;
+  regs[static_cast<std::size_t>(isa::Reg::RDX)] = os::Machine::kSharedBase;
+  const bool trigger = !args.has("--no-trigger");
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = trigger ? 'S' : 'T';
+
+  uarch::PipelineTrace trace;
+  if (args.has("--trace")) m.core().set_trace(&trace);
+  for (int i = 0; i < 8; ++i)
+    std::printf("probe %d (%s): ToTE = %llu cycles\n", i,
+                trigger ? "trigger" : "no trigger",
+                static_cast<unsigned long long>(core::run_tote(m, g, regs)));
+  if (args.has("--trace")) {
+    m.core().set_trace(nullptr);
+    std::printf("\npipeline trace (last probe window):\n%s",
+                trace.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_leak(const Args& args) {
+  os::Machine m({.model = cpu_from(args)});
+  const std::string what = args.value("--attack", "md");
+  const std::string secret_str = args.value("--secret", "hunter2");
+  const std::vector<std::uint8_t> secret(secret_str.begin(),
+                                         secret_str.end());
+
+  std::vector<std::uint8_t> leaked;
+  if (what == "md") {
+    const std::uint64_t kaddr = m.plant_kernel_secret(secret);
+    core::TetMeltdown atk(m);
+    leaked = atk.leak(kaddr, secret.size());
+  } else if (what == "rsb") {
+    m.poke_bytes(os::Machine::kDataBase + 0x1000, secret);
+    core::TetSpectreRsb atk(m);
+    leaked = atk.leak(os::Machine::kDataBase + 0x1000, secret.size());
+  } else if (what == "v1") {
+    core::TetSpectreV1 atk(m);
+    const std::uint64_t addr = core::TetSpectreV1::kArrayBase + 0x80;
+    m.poke_bytes(addr, secret);
+    leaked = atk.leak(addr, secret.size());
+  } else if (what == "zbl") {
+    core::TetZombieload atk(m);
+    leaked = atk.leak(secret);
+  } else {
+    std::fprintf(stderr, "unknown --attack '%s' (md|rsb|v1|zbl)\n",
+                 what.c_str());
+    return 2;
+  }
+
+  std::string printable;
+  for (std::uint8_t b : leaked)
+    printable += (b >= 32 && b < 127) ? static_cast<char>(b) : '.';
+  std::printf("TET-%s on %s leaked: \"%s\"  (%s)\n", what.c_str(),
+              m.config().name.c_str(), printable.c_str(),
+              leaked == secret ? "exact" : "with errors");
+  return leaked == secret ? 0 : 1;
+}
+
+int cmd_kaslr(const Args& args) {
+  os::MachineOptions opts;
+  opts.model = cpu_from(args);
+  opts.kernel.kpti = args.has("--kpti");
+  opts.kernel.flare = args.has("--flare");
+  opts.seed = std::stoull(args.value("--seed", "0"));
+  os::Machine m(opts);
+  core::TetKaslr atk(m);
+  const auto r = atk.run();
+  std::printf("TET-KASLR on %s%s%s: %s  found %#llx true %#llx  (%.4f s, "
+              "%zu probes)\n",
+              m.config().name.c_str(), opts.kernel.kpti ? " +KPTI" : "",
+              opts.kernel.flare ? " +FLARE" : "",
+              r.success ? "BROKEN" : "held",
+              static_cast<unsigned long long>(r.found_base),
+              static_cast<unsigned long long>(r.true_base), r.seconds,
+              r.probes);
+  return r.success ? 0 : 1;
+}
+
+int cmd_matrix() {
+  std::printf("run build/bench/table2_matrix for the full Table 2 "
+              "reproduction.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) args.positional.emplace_back(argv[i]);
+  const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "models") return cmd_models();
+  if (cmd == "tote") return cmd_tote(args);
+  if (cmd == "leak") return cmd_leak(args);
+  if (cmd == "kaslr") return cmd_kaslr(args);
+  if (cmd == "matrix") return cmd_matrix();
+  std::fprintf(stderr,
+               "usage: whisper_cli <models|tote|leak|kaslr|matrix> "
+               "[options]\n  see the header comment of examples/"
+               "whisper_cli.cpp\n");
+  return 2;
+}

@@ -1,0 +1,44 @@
+// EntryBleed-style prefetch-timing KASLR probe — the instruction-specific
+// baseline the paper positions TET-KASLR against (§2.1, §6.1). The PREFETCH
+// latency exposes the page-walk time only, so FLARE's uniform dummy
+// mappings defeat it — while TET-KASLR's double probe still wins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper::baseline {
+
+class PrefetchKaslr {
+ public:
+  struct Options {
+    int rounds = 3;
+  };
+
+  struct Result {
+    bool success = false;
+    int found_slot = -1;
+    std::uint64_t found_base = 0;
+    std::uint64_t true_base = 0;
+    std::size_t probes = 0;
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+    std::vector<std::uint64_t> slot_scores;
+  };
+
+  explicit PrefetchKaslr(os::Machine& m) : PrefetchKaslr(m, Options{}) {}
+  PrefetchKaslr(os::Machine& m, Options opt);
+
+  [[nodiscard]] Result run();
+  [[nodiscard]] std::uint64_t probe_once(std::uint64_t vaddr);
+
+ private:
+  os::Machine& m_;
+  Options opt_;
+  core::GadgetProgram probe_;
+};
+
+}  // namespace whisper::baseline

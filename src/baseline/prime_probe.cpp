@@ -1,0 +1,125 @@
+#include "baseline/prime_probe.h"
+
+#include <algorithm>
+
+using whisper::isa::ProgramBuilder;
+using whisper::isa::Reg;
+
+namespace whisper::baseline {
+
+namespace {
+
+// Receiver's prime buffer: one page per L1 way — line `set*64` of each page
+// lands in L1 set `set`. Placed past the Spectre-V1 victim data.
+constexpr std::uint64_t kPrimeBase = os::Machine::kDataBase + 0x18000;
+// Sender's congruent lines live in the shared region (same page-offset
+// bits => same L1 set).
+constexpr std::uint64_t kSenderBase = os::Machine::kSharedBase + 0x4000;
+// Probe latencies output buffer.
+constexpr std::uint64_t kLatBase = os::Machine::kDataBase + 0xe000;
+
+constexpr int kWays = 8;  // L1 associativity in every model preset
+
+}  // namespace
+
+PrimeProbeChannel::PrimeProbeChannel(os::Machine& m) : m_(m) {
+  // Build the three programs without arithmetic gymnastics: unrolled loads.
+  {
+    ProgramBuilder b;
+    b.mov(Reg::R14, static_cast<std::int64_t>(kPrimeBase));
+    for (int way = 0; way < kWays; ++way) {
+      for (int s = 0; s < kSymbolSets; ++s) {
+        const std::int64_t disp =
+            static_cast<std::int64_t>(way) * 4096 +
+            static_cast<std::int64_t>(s) * kSetStride * 64;
+        b.load_byte(Reg::R10, Reg::R14, disp);
+      }
+    }
+    b.mfence().halt();
+    prime_ = b.build();
+  }
+  {
+    // Probe: for each symbol set, time kWays loads; store the delta.
+    ProgramBuilder b;
+    b.mov(Reg::R14, static_cast<std::int64_t>(kPrimeBase));
+    b.mov(Reg::R13, static_cast<std::int64_t>(kLatBase));
+    for (int s = 0; s < kSymbolSets; ++s) {
+      b.lfence().rdtsc(Reg::R8).lfence();
+      for (int way = 0; way < kWays; ++way) {
+        const std::int64_t disp =
+            static_cast<std::int64_t>(way) * 4096 +
+            static_cast<std::int64_t>(s) * kSetStride * 64;
+        b.load_byte(Reg::R10, Reg::R14, disp);
+      }
+      b.lfence().rdtsc(Reg::R9);
+      b.sub(Reg::R9, Reg::R8);
+      b.store(Reg::R13, Reg::R9, s * 8);
+    }
+    b.halt();
+    probe_ = b.build();
+  }
+  {
+    // Sender: RBX = symbol; touch the congruent line. Computed address:
+    // kSenderBase + RBX*stride*64.
+    ProgramBuilder b;
+    b.mov(Reg::R13, Reg::RBX);
+    b.shl(Reg::R13, 8);  // * 256 == kSetStride(4) * 64
+    b.add(Reg::R13, static_cast<std::int64_t>(kSenderBase));
+    b.load_byte(Reg::R10, Reg::R13);
+    b.halt();
+    touch_ = b.build();
+  }
+  static_assert(kSetStride * 64 == 256, "sender shift must match stride");
+}
+
+void PrimeProbeChannel::prime() {
+  (void)m_.run_user(prime_, {}, -1, 200'000);
+}
+
+void PrimeProbeChannel::send_symbol(int s) {
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(Reg::RBX)] =
+      static_cast<std::uint64_t>(s % kSymbolSets);
+  (void)m_.run_user(touch_, regs, -1, 50'000);
+}
+
+std::vector<std::uint64_t> PrimeProbeChannel::last_latencies() const {
+  std::vector<std::uint64_t> lat(kSymbolSets);
+  for (int s = 0; s < kSymbolSets; ++s)
+    lat[static_cast<std::size_t>(s)] =
+        m_.peek64(kLatBase + static_cast<std::uint64_t>(s) * 8);
+  return lat;
+}
+
+int PrimeProbeChannel::receive_symbol() {
+  (void)m_.run_user(probe_, {}, -1, 500'000);
+  const auto lat = last_latencies();
+  const auto max_it = std::max_element(lat.begin(), lat.end());
+  const auto min_it = std::min_element(lat.begin(), lat.end());
+  if (*max_it < *min_it + 4) return -1;  // nothing evicted
+  return static_cast<int>(max_it - lat.begin());
+}
+
+stats::ChannelReport PrimeProbeChannel::transmit(
+    std::span<const std::uint8_t> bytes) {
+  const std::uint64_t start = m_.core().cycle();
+  std::vector<std::uint8_t> received;
+  received.reserve(bytes.size());
+  for (std::uint8_t b : bytes) {
+    int nibbles[2] = {b >> 4, b & 0xf};
+    int got[2];
+    for (int i = 0; i < 2; ++i) {
+      prime();
+      m_.advance_time(
+          static_cast<std::uint64_t>(m_.config().channel_sync_cycles) / 4);
+      send_symbol(nibbles[i]);
+      const int sym = receive_symbol();
+      got[i] = sym < 0 ? 0 : sym;
+    }
+    received.push_back(static_cast<std::uint8_t>((got[0] << 4) | got[1]));
+  }
+  return stats::evaluate_channel(bytes, received,
+                                 m_.core().cycle() - start, m_.config().ghz);
+}
+
+}  // namespace whisper::baseline

@@ -1,0 +1,51 @@
+// Prime+Probe — the second classic *stateful* cache channel (Table 1's
+// cache column), included alongside Flush+Reload to position TET against
+// contention-style cache attacks that need no shared memory and no CLFLUSH.
+//
+// The receiver primes every way of a target L1 set with its own lines; the
+// sender encodes a symbol by touching a line congruent to one set, evicting
+// one of the receiver's ways; the receiver times a re-probe of each set and
+// reads the symbol from the slow set.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "isa/program.h"
+#include "os/machine.h"
+#include "stats/error_rate.h"
+
+namespace whisper::baseline {
+
+class PrimeProbeChannel {
+ public:
+  /// One symbol = one of kSymbolSets L1 sets; a byte travels as two
+  /// nibbles. Sets are spaced kSetStride apart to keep neighbours quiet.
+  static constexpr int kSymbolSets = 16;
+  static constexpr int kSetStride = 4;
+
+  explicit PrimeProbeChannel(os::Machine& m);
+
+  [[nodiscard]] stats::ChannelReport transmit(
+      std::span<const std::uint8_t> bytes);
+
+  /// Prime all monitored sets (receiver step 1).
+  void prime();
+  /// Sender: touch the line congruent to symbol `s` (0..kSymbolSets-1).
+  void send_symbol(int s);
+  /// Receiver: probe all monitored sets, return the symbol whose set
+  /// probed slowest (-1 if no set stands out).
+  [[nodiscard]] int receive_symbol();
+
+  /// Per-set probe latencies from the last receive (for tests/plots).
+  [[nodiscard]] std::vector<std::uint64_t> last_latencies() const;
+
+ private:
+  os::Machine& m_;
+  isa::Program prime_;
+  isa::Program probe_;
+  isa::Program touch_;
+};
+
+}  // namespace whisper::baseline

@@ -1,0 +1,84 @@
+#include "core/attacks/kaslr.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace whisper::core {
+
+TetKaslr::TetKaslr(os::Machine& m, Options opt)
+    : m_(m), opt_(opt),
+      window_(opt.window.value_or(preferred_window(m.config()))),
+      gadget_(make_kaslr_gadget(window_)) {}
+
+std::uint64_t TetKaslr::probe_once(std::uint64_t vaddr, bool evict) {
+  if (evict) m_.evict_tlbs();
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RCX)] = vaddr;
+  // Alternate the Jcc direction so the probe branch stays weakly predicted —
+  // the pipeline-stall amplifier of Listing 2.
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = jcc_parity_ ? 1 : 0;
+  jcc_parity_ = !jcc_parity_;
+  return run_tote(m_, gadget_, regs);
+}
+
+TetKaslr::Result TetKaslr::run() {
+  Result r;
+  r.true_base = m_.kernel().kernel_base();
+  const bool double_probe = opt_.double_probe.value_or(m_.kernel().flare());
+  const std::uint64_t probe_offset =
+      m_.kernel().kpti() ? os::kKptiTrampolineOffset : 0;
+
+  const std::uint64_t start = m_.core().cycle();
+  r.slot_scores.assign(os::kKaslrSlots,
+                       std::numeric_limits<std::uint64_t>::max());
+
+  for (int s = 0; s < os::kKaslrSlots; ++s) {
+    const std::uint64_t target = os::kKaslrRegionStart +
+                                 static_cast<std::uint64_t>(s) *
+                                     os::kKaslrSlotBytes +
+                                 probe_offset;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (int round = 0; round < opt_.rounds; ++round) {
+      std::uint64_t tote;
+      if (double_probe) {
+        // First probe (after eviction) warms the TLB iff the target is
+        // genuinely mapped; the second probe is the measurement.
+        (void)probe_once(target, /*evict=*/true);
+        ++r.probes;
+        tote = probe_once(target, /*evict=*/false);
+      } else {
+        tote = probe_once(target, /*evict=*/true);
+      }
+      ++r.probes;
+      if (tote != 0) best = std::min(best, tote);
+    }
+    r.slot_scores[static_cast<std::size_t>(s)] = best;
+  }
+
+  // §4.5: scan for "the first mapped address, which marks the initiation of
+  // the kernel image". The image spans several slots, so a global argmin
+  // would land on an arbitrary image page; instead classify slots as mapped
+  // (fast) via a threshold between the fastest score and the population
+  // median, and take the first mapped slot.
+  std::vector<std::uint64_t> sorted = r.slot_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t fastest = sorted.front();
+  const std::uint64_t median = sorted[sorted.size() / 2];
+  const std::uint64_t threshold = fastest + (median - fastest) / 2;
+  r.found_slot = 0;
+  for (int s = 0; s < os::kKaslrSlots; ++s) {
+    if (r.slot_scores[static_cast<std::size_t>(s)] <= threshold) {
+      r.found_slot = s;
+      break;
+    }
+  }
+  r.found_base = os::kKaslrRegionStart +
+                 static_cast<std::uint64_t>(r.found_slot) *
+                     os::kKaslrSlotBytes;
+  r.cycles = m_.core().cycle() - start;
+  r.seconds = m_.seconds(r.cycles);
+  r.success = r.found_base == r.true_base;
+  return r;
+}
+
+}  // namespace whisper::core

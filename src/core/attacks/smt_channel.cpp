@@ -1,0 +1,71 @@
+#include "core/attacks/smt_channel.h"
+
+namespace whisper::core {
+
+SmtCovertChannel::SmtCovertChannel(os::Machine& m, Options opt)
+    : m_(m), opt_(opt), spy_(make_smt_spy(opt.spy_iters)),
+      trojan_one_(make_smt_trojan(true)), trojan_zero_(make_smt_trojan(false)),
+      rng_(m.config().seed ^ 0x5a7c4a11ull) {}
+
+std::uint64_t SmtCovertChannel::measure_bit(bool bit) {
+  // Imperfect sender/receiver synchronisation: the trojan's action lands a
+  // random distance into the spy's slot. When the slot is short, late
+  // trojans miss it entirely — the paper's error floor at high rates.
+  GadgetProgram trojan = bit ? trojan_one_ : trojan_zero_;
+  if (opt_.start_skew_max > 0) {
+    const int skew = static_cast<int>(rng_.next_below(
+        static_cast<std::uint64_t>(opt_.start_skew_max) + 1));
+    trojan = make_smt_trojan_skewed(bit, skew);
+  }
+  std::array<std::uint64_t, isa::kNumRegs> spy_regs{};
+  std::array<std::uint64_t, isa::kNumRegs> trojan_regs{};
+  trojan_regs[static_cast<std::size_t>(isa::Reg::RCX)] = kNullProbeAddress;
+
+  const uarch::RunResult r = m_.run_smt(spy_, spy_regs, trojan.prog,
+                                        trojan_regs, -1,
+                                        trojan.signal_handler);
+  ++stats_.probes;
+  const auto& tsc = r.thread[0].tsc;
+  if (tsc.size() < 2 || tsc[1] <= tsc[0]) return 0;
+  return tsc[1] - tsc[0];
+}
+
+void SmtCovertChannel::calibrate() {
+  std::uint64_t sum0 = 0, sum1 = 0;
+  int n = std::max(1, opt_.calibration_bits / 2);
+  for (int i = 0; i < n; ++i) {
+    sum0 += measure_bit(false);
+    sum1 += measure_bit(true);
+  }
+  const std::uint64_t mean0 = sum0 / static_cast<std::uint64_t>(n);
+  const std::uint64_t mean1 = sum1 / static_cast<std::uint64_t>(n);
+  threshold_ = (mean0 + mean1) / 2;
+}
+
+stats::ChannelReport SmtCovertChannel::transmit(
+    std::span<const std::uint8_t> bytes) {
+  const std::uint64_t start = m_.core().cycle();
+  if (threshold_ == 0) calibrate();
+
+  const int reps = std::max(1, opt_.repetition);
+  std::vector<std::uint8_t> received;
+  received.reserve(bytes.size());
+  for (std::uint8_t b : bytes) {
+    std::uint8_t out = 0;
+    for (int bit = 7; bit >= 0; --bit) {
+      const bool sent = (b >> bit) & 1;
+      int votes = 0;
+      for (int r = 0; r < reps; ++r)
+        if (measure_bit(sent) > threshold_) ++votes;
+      const bool decoded = votes * 2 > reps;
+      out = static_cast<std::uint8_t>((out << 1) | (decoded ? 1 : 0));
+    }
+    received.push_back(out);
+  }
+
+  const std::uint64_t cycles = m_.core().cycle() - start;
+  stats_.cycles += cycles;
+  return stats::evaluate_channel(bytes, received, cycles, m_.config().ghz);
+}
+
+}  // namespace whisper::core

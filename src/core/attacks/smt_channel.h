@@ -1,0 +1,66 @@
+// §4.4: covert channel between SMT siblings. The trojan encodes '1' as a
+// suppressed page fault — the resulting pipeline flush monopolises the
+// shared front end — and '0' as plain computation; the spy times a nop loop
+// and thresholds the loop time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+#include "stats/error_rate.h"
+#include "stats/rng.h"
+
+namespace whisper::core {
+
+class SmtCovertChannel {
+ public:
+  struct Options {
+    int spy_iters = 48;      // nop-loop iterations per bit slot
+    int calibration_bits = 16;  // known preamble used to set the threshold
+    /// Maximum random start skew between trojan and spy per bit slot, in
+    /// trojan nops. Real SMT channels cannot synchronise perfectly; at high
+    /// symbol rates the skew eats into the spy's window and produces the
+    /// paper's speed/error trade-off (§4.4: 268 KB/s at 28% error).
+    int start_skew_max = 0;
+    /// Repetition code: send each bit this many times and majority-decode.
+    /// The paper leaves "speed up with high accuracy" to future work; this
+    /// is the obvious first step — it buys accuracy back from the skewed
+    /// high-rate regime at a linear rate cost.
+    int repetition = 1;
+  };
+
+  explicit SmtCovertChannel(os::Machine& m) : SmtCovertChannel(m, Options{}) {}
+  SmtCovertChannel(os::Machine& m, Options opt);
+
+  /// Transmit bytes trojan→spy; returns throughput and error rate
+  /// (§4.4 reports 1 B/s prototype and 268 KB/s with SecSMT's harness).
+  [[nodiscard]] stats::ChannelReport transmit(
+      std::span<const std::uint8_t> bytes);
+
+  /// Spy loop time for a single bit sent by the trojan (for calibration
+  /// plots and tests).
+  [[nodiscard]] std::uint64_t measure_bit(bool bit);
+
+  [[nodiscard]] std::uint64_t threshold() const noexcept {
+    return threshold_;
+  }
+  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+
+ private:
+  void calibrate();
+
+  os::Machine& m_;
+  Options opt_;
+  isa::Program spy_;
+  GadgetProgram trojan_one_;
+  GadgetProgram trojan_zero_;
+  std::uint64_t threshold_ = 0;
+  AttackStats stats_;
+  stats::Xoshiro256 rng_;
+};
+
+}  // namespace whisper::core

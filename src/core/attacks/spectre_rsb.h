@@ -1,0 +1,50 @@
+// TET-Spectre-V5-RSB (paper §4.3.3, Listing 1): the gadget overwrites its
+// own return address and flushes the stack slot; the RSB-predicted return
+// path executes the secret-dependent Jcc transiently. A triggered
+// misprediction resolves the pending return early, shortening ToTE
+// (arg-min decode, following the paper's prose — see DESIGN.md on the
+// Listing-1 argmax discrepancy). No fault is ever raised, which is why this
+// variant reaches KB/s throughput.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper::core {
+
+class TetSpectreRsb {
+ public:
+  struct Options {
+    int batches = 2;
+  };
+
+  explicit TetSpectreRsb(os::Machine& m) : TetSpectreRsb(m, Options{}) {}
+  TetSpectreRsb(os::Machine& m, Options opt);
+
+  /// Leak bytes the gadget can architecturally reach but the attacker's
+  /// sandbox cannot (the Spectre threat model): `vaddr` is in the gadget's
+  /// address space.
+  [[nodiscard]] std::vector<std::uint8_t> leak(std::uint64_t vaddr,
+                                               std::size_t len);
+  [[nodiscard]] std::uint8_t leak_byte(std::uint64_t vaddr);
+
+  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
+    return analyzer_;
+  }
+
+ private:
+  os::Machine& m_;
+  Options opt_;
+  GadgetProgram gadget_;
+  ArgmaxAnalyzer analyzer_{Polarity::Min};
+  AttackStats stats_;
+};
+
+}  // namespace whisper::core

@@ -1,0 +1,55 @@
+#include "core/attacks/spectre_v1.h"
+
+namespace whisper::core {
+
+TetSpectreV1::TetSpectreV1(os::Machine& m, Options opt)
+    : m_(m), opt_(opt), gadget_(make_spectre_v1_gadget()) {
+  install_victim(m_);
+}
+
+void TetSpectreV1::install_victim(os::Machine& m) const {
+  m.poke64(kLenAddr, kArrayLen);
+  for (std::uint64_t i = 0; i < kArrayLen; ++i)
+    m.poke8(kArrayBase + i, static_cast<std::uint8_t>(i));
+}
+
+std::uint64_t TetSpectreV1::probe(std::uint64_t index, int test_value) {
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RDI)] = kLenAddr;
+  regs[static_cast<std::size_t>(isa::Reg::RSI)] = index;
+  regs[static_cast<std::size_t>(isa::Reg::RDX)] = kArrayBase;
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] =
+      static_cast<std::uint64_t>(test_value);
+  ++stats_.probes;
+  return run_tote(m_, gadget_, regs);
+}
+
+std::uint8_t TetSpectreV1::leak_byte(std::uint64_t secret_vaddr) {
+  analyzer_.reset();
+  const std::uint64_t start = m_.core().cycle();
+  const std::uint64_t oob_index = secret_vaddr - kArrayBase;
+
+  for (int batch = 0; batch < opt_.batches; ++batch) {
+    for (int tv = 0; tv <= 255; ++tv) {
+      // Train the bounds branch in-bounds (predicted not-taken)…
+      for (int t = 0; t < opt_.trainings_per_probe; ++t)
+        (void)probe(static_cast<std::uint64_t>(t) % kArrayLen, tv);
+      // …then probe out of bounds: the access runs transiently.
+      analyzer_.add(tv, probe(oob_index, tv));
+    }
+    analyzer_.end_batch();
+  }
+  stats_.cycles += m_.core().cycle() - start;
+  return static_cast<std::uint8_t>(analyzer_.decode());
+}
+
+std::vector<std::uint8_t> TetSpectreV1::leak(std::uint64_t secret_vaddr,
+                                             std::size_t len) {
+  std::vector<std::uint8_t> out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(leak_byte(secret_vaddr + i));
+  return out;
+}
+
+}  // namespace whisper::core

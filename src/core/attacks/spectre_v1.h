@@ -1,0 +1,63 @@
+// TET-Spectre-V1 (extension beyond the paper's attack set): the classic
+// bounds-check-bypass window carried over the Whisper channel.
+//
+// The paper demonstrates TET with Meltdown/MDS/RSB windows; this extension
+// shows the channel composes with Spectre-V1 as well: the transient
+// (in-bounds-predicted) path executes the secret-dependent Jcc, and its
+// misprediction's recovery work drains into the bounds branch's own
+// resteer — lengthening ToTE when the test value matches (arg-max decode,
+// like TET-MD). No fault is raised, so per-probe cost is close to TET-RSB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper::core {
+
+class TetSpectreV1 {
+ public:
+  struct Options {
+    int batches = 3;
+    int trainings_per_probe = 4;  // in-bounds runs before each OOB probe
+  };
+
+  explicit TetSpectreV1(os::Machine& m) : TetSpectreV1(m, Options{}) {}
+  TetSpectreV1(os::Machine& m, Options opt);
+
+  /// Leak bytes at `secret_vaddr`, which must lie *past* the bounds-checked
+  /// array at `array_vaddr` whose length word lives at `len_vaddr`.
+  [[nodiscard]] std::vector<std::uint8_t> leak(std::uint64_t secret_vaddr,
+                                               std::size_t len);
+  [[nodiscard]] std::uint8_t leak_byte(std::uint64_t secret_vaddr);
+
+  /// Set up a victim array in the attacker space: `array_len` in-bounds
+  /// bytes followed (at some distance) by the secret. Returns the base.
+  static constexpr std::uint64_t kArrayBase =
+      os::Machine::kDataBase + 0x10000;
+  static constexpr std::uint64_t kLenAddr = os::Machine::kDataBase + 0xff00;
+  static constexpr std::uint64_t kArrayLen = 16;
+
+  void install_victim(os::Machine& m) const;
+
+  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
+    return analyzer_;
+  }
+
+ private:
+  std::uint64_t probe(std::uint64_t index, int test_value);
+
+  os::Machine& m_;
+  Options opt_;
+  GadgetProgram gadget_;
+  ArgmaxAnalyzer analyzer_{Polarity::Max};
+  AttackStats stats_;
+};
+
+}  // namespace whisper::core

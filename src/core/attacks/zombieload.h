@@ -1,0 +1,50 @@
+// TET-Zombieload (paper §4.3.2): sample stale line-fill-buffer data from a
+// victim on the same physical core, transmitting it over the Whisper channel.
+// Contrary to TET-MD, a triggered Jcc *shortens* the window (the assist
+// squashes early), so decoding uses arg-min.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper::core {
+
+class TetZombieload {
+ public:
+  struct Options {
+    int batches = 6;
+    std::optional<WindowKind> window;
+  };
+
+  explicit TetZombieload(os::Machine& m) : TetZombieload(m, Options{}) {}
+  TetZombieload(os::Machine& m, Options opt);
+
+  /// Recover the byte stream a victim repeatedly touches. The harness
+  /// injects each victim byte into the LFB before every probe — standing in
+  /// for the co-resident victim loop of the real attack.
+  [[nodiscard]] std::vector<std::uint8_t> leak(
+      std::span<const std::uint8_t> victim_stream);
+  [[nodiscard]] std::uint8_t leak_byte(std::uint8_t victim_byte);
+
+  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
+    return analyzer_;
+  }
+
+ private:
+  os::Machine& m_;
+  Options opt_;
+  WindowKind window_;
+  GadgetProgram gadget_;
+  ArgmaxAnalyzer analyzer_{Polarity::Min};
+  AttackStats stats_;
+};
+
+}  // namespace whisper::core

@@ -1,0 +1,56 @@
+// TET-CC (paper §4.1): the covert channel built directly on the Whisper
+// primitive. The sender places a byte in shared memory; the receiver sweeps
+// test values through the Fig. 1a gadget — the value whose probes produce
+// the longest ToTE is the transmitted byte. No cache line is ever used to
+// carry the secret (transient-only, stateless — Table 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+#include "stats/error_rate.h"
+
+namespace whisper::core {
+
+class TetCovertChannel {
+ public:
+  struct Options {
+    int batches = 3;
+    std::optional<WindowKind> window;
+    /// Cross-process synchronisation cost charged per transmitted byte
+    /// (cycles); defaults to the CPU config's channel_sync_cycles.
+    std::optional<int> sync_cycles;
+  };
+
+  explicit TetCovertChannel(os::Machine& m) : TetCovertChannel(m, Options{}) {}
+  TetCovertChannel(os::Machine& m, Options opt);
+
+  /// Transmit `bytes` sender→receiver and report throughput + error rate
+  /// exactly as §4.1 does for 1k random bytes.
+  [[nodiscard]] stats::ChannelReport transmit(
+      std::span<const std::uint8_t> bytes);
+
+  /// Receive a single byte already placed in the shared page.
+  [[nodiscard]] std::uint8_t receive_byte();
+
+  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
+    return analyzer_;
+  }
+
+ private:
+  os::Machine& m_;
+  Options opt_;
+  WindowKind window_;
+  GadgetProgram gadget_;
+  ArgmaxAnalyzer analyzer_{Polarity::Max};
+  AttackStats stats_;
+};
+
+}  // namespace whisper::core

@@ -1,0 +1,36 @@
+#include "core/detector.h"
+
+namespace whisper::core {
+
+namespace {
+
+std::uint64_t at(const uarch::PmuSnapshot& s, uarch::PmuEvent e) {
+  return s[static_cast<std::size_t>(e)];
+}
+
+}  // namespace
+
+DetectionReport PmuDetector::analyze(const uarch::PmuSnapshot& delta) const {
+  DetectionReport r;
+
+  const std::uint64_t dram = at(delta, uarch::PmuEvent::MEM_LOAD_RETIRED_DRAM);
+  const std::uint64_t l1 = at(delta, uarch::PmuEvent::MEM_LOAD_RETIRED_L1_HIT);
+  r.dram_accesses = dram;
+  r.dram_per_l1_hit =
+      static_cast<double>(dram) / static_cast<double>(l1 ? l1 : 1);
+  r.cache_attack_suspected = dram >= thresholds_.min_dram &&
+                             r.dram_per_l1_hit >= thresholds_.dram_per_l1;
+
+  const std::uint64_t cycles = at(delta, uarch::PmuEvent::CORE_CYCLES);
+  const std::uint64_t clears =
+      at(delta, uarch::PmuEvent::MACHINE_CLEARS_COUNT);
+  r.clears_per_kilocycle =
+      cycles ? 1000.0 * static_cast<double>(clears) /
+                   static_cast<double>(cycles)
+             : 0.0;
+  r.clear_storm_suspected =
+      r.clears_per_kilocycle >= thresholds_.clears_per_kc;
+  return r;
+}
+
+}  // namespace whisper::core

@@ -1,0 +1,47 @@
+// PMU-based attack detection, in the spirit of the hardware-performance-
+// counter detectors the paper's threat model assumes are deployed
+// ("state-of-art attack detection based on cache behavior", §4.2, [15]).
+//
+// Two detectors are modelled:
+//  * CacheAttackDetector — flags Flush+Reload-style cache thrash (the
+//    flush/reload miss storm). Catches the classic Meltdown-F+R pipeline;
+//    blind to TET, whose probes barely touch the data caches (§6.1).
+//  * ClearRateDetector — flags machine-clear storms. This *would* notice
+//    exception-suppressed TET attacks (MD/ZBL) but not TET-RSB or
+//    TET-KASLR-over-TSX on low duty cycles; included to quantify the
+//    paper's §6 discussion of what detecting Whisper would actually take.
+#pragma once
+
+#include "uarch/pmu.h"
+
+namespace whisper::core {
+
+struct DetectionReport {
+  // Cache-channel signature.
+  double dram_per_l1_hit = 0.0;    // reload-miss storm indicator
+  std::uint64_t dram_accesses = 0;
+  bool cache_attack_suspected = false;
+  // Machine-clear signature.
+  double clears_per_kilocycle = 0.0;
+  bool clear_storm_suspected = false;
+};
+
+class PmuDetector {
+ public:
+  struct Thresholds {
+    double dram_per_l1 = 0.8;        // reloads dominated by misses
+    std::uint64_t min_dram = 64;     // ignore tiny windows
+    double clears_per_kc = 0.2;      // machine-clear storm
+  };
+
+  PmuDetector() : PmuDetector(Thresholds{}) {}
+  explicit PmuDetector(Thresholds t) : thresholds_(t) {}
+
+  /// Analyze a monitored workload window (PMU delta over the window).
+  [[nodiscard]] DetectionReport analyze(const uarch::PmuSnapshot& delta) const;
+
+ private:
+  Thresholds thresholds_;
+};
+
+}  // namespace whisper::core

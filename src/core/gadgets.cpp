@@ -1,0 +1,291 @@
+#include "core/gadgets.h"
+
+using whisper::isa::Cond;
+using whisper::isa::ProgramBuilder;
+using whisper::isa::Reg;
+
+namespace whisper::core {
+
+WindowKind preferred_window(const uarch::CpuConfig& cfg) {
+  return cfg.has_tsx ? WindowKind::Tsx : WindowKind::Signal;
+}
+
+namespace {
+
+/// Emit `rdtsc R8; lfence` (measurement start).
+void emit_start(ProgramBuilder& b) {
+  b.rdtsc(Reg::R8).lfence();
+}
+
+/// Emit the measurement tail at the current position, labelled `after`:
+/// `lfence; rdtsc R9; halt`.
+void emit_end(ProgramBuilder& b) {
+  b.label("after").lfence().rdtsc(Reg::R9).halt();
+}
+
+GadgetProgram finish(ProgramBuilder& b) {
+  GadgetProgram g{b.build(), -1};
+  g.signal_handler = g.prog.label("after");
+  return g;
+}
+
+}  // namespace
+
+GadgetProgram make_tet_gadget(const TetGadgetSpec& spec) {
+  ProgramBuilder b;
+  emit_start(b);
+  if (spec.window == WindowKind::Tsx) b.tsx_begin("after");
+
+  // ---- transient block start (Fig. 1a line 2) ----
+  b.load_byte(Reg::RAX, Reg::RCX);  // faulting load; may forward data
+  switch (spec.source) {
+    case SecretSource::FaultingLoad:
+      b.cmp(Reg::RAX, Reg::RBX);  // secret byte vs test value
+      break;
+    case SecretSource::SharedMemory:
+      b.load_byte(Reg::R10, Reg::RDX);  // architecturally readable secret
+      b.cmp(Reg::R10, Reg::RBX);
+      break;
+    case SecretSource::None:
+      b.cmp(Reg::RBX, 0);  // attacker-driven condition
+      break;
+  }
+  b.jcc(Cond::Z, "hit");  // Fig. 1a line 3: if (value == test) ...
+  // Fall-through (not-triggered) path: the §5.2.5 experiment pads this
+  // path with nops before the window-ending fence; the taken path skips
+  // them entirely (Fig. 4's path ③ "does not meet a fence").
+  if (spec.pad_nops_before_end > 0) b.nop(spec.pad_nops_before_end);
+  b.jmp("join");
+  // Keep the taken path in a cold fetch block so the transient resteer
+  // exercises the DSB→MITE switch (Fig. 3).
+  b.nop(8);
+  b.label("hit").nop();
+  b.label("join");
+  // ---- transient block end ----
+
+  if (spec.window == WindowKind::Tsx)
+    b.tsx_end();
+  else
+    b.mfence();
+  emit_end(b);
+  return finish(b);
+}
+
+GadgetProgram make_tet_gadget_branchless(WindowKind window) {
+  ProgramBuilder b;
+  emit_start(b);
+  if (window == WindowKind::Tsx) b.tsx_begin("after");
+  b.load_byte(Reg::RAX, Reg::RCX);  // faulting load opens the window
+  b.load_byte(Reg::R10, Reg::RDX);
+  b.cmp(Reg::R10, Reg::RBX);
+  b.mov(Reg::R11, 0);
+  b.mov(Reg::R12, 1);
+  b.cmov(Cond::Z, Reg::R11, Reg::R12);  // select, never predict
+  if (window == WindowKind::Tsx)
+    b.tsx_end();
+  else
+    b.mfence();
+  emit_end(b);
+  return finish(b);
+}
+
+GadgetProgram make_spectre_v1_gadget() {
+  ProgramBuilder b;
+  emit_start(b);
+  // Classic V1 shape: flush the bound so the check resolves late.
+  b.clflush(Reg::RDI);
+  b.load(Reg::R9, Reg::RDI);    // array_length — DRAM-slow after the flush
+  b.cmp(Reg::RSI, Reg::R9);     // CF set iff index < length (in bounds)
+  b.jcc(Cond::NC, "oob");       // trained not-taken by in-bounds accesses
+  // Speculative in-bounds path: the out-of-bounds secret access plus the
+  // Whisper Jcc.
+  b.mov(Reg::R13, Reg::RDX);
+  b.add(Reg::R13, Reg::RSI);
+  b.load_byte(Reg::RAX, Reg::R13);  // architecturally reachable, sandbox-
+  b.cmp(Reg::RAX, Reg::RBX);        // forbidden secret
+  b.jcc(Cond::Z, "hit");
+  b.jmp("join");
+  b.nop(8);
+  b.label("hit").nop();
+  b.label("join").nop();
+  b.label("oob").nop();
+  emit_end(b);
+  return finish(b);
+}
+
+GadgetProgram make_rsb_gadget() {
+  ProgramBuilder b;
+  emit_start(b);
+  b.call("func");
+
+  // Speculated return site (Listing 1 line 5): the instruction right after
+  // the call. The RSB predicts the ret here, but the overwritten stack slot
+  // actually sends it to `landing` — so this path only ever runs
+  // transiently.
+  b.load_byte(Reg::RAX, Reg::RDX);  // secret (attacker-readable)
+  b.cmp(Reg::RAX, Reg::RBX);
+  b.jcc(Cond::Z, "hit");
+  b.jmp("rjoin");
+  b.nop(8);
+  b.label("hit").nop();
+  b.label("rjoin").nop().jmp("after");
+
+  b.label("func");
+  b.mov_label(Reg::R11, "landing");   // Listing 1 line 8: movabs $2f
+  b.store(Reg::RSP, Reg::R11);        // line 9: overwrite return address
+  b.clflush(Reg::RSP);                // line 10: push resolution to DRAM
+  b.ret();                            // line 11: RSB mispredicts
+
+  b.label("landing").nop();           // line 12: actual return target "2:"
+  emit_end(b);
+  return finish(b);
+}
+
+GadgetProgram make_kaslr_gadget(WindowKind window) {
+  ProgramBuilder b;
+  b.mfence();  // Listing 2 line 1
+  emit_start(b);
+  if (window == WindowKind::Tsx) b.tsx_begin("after");
+
+  b.load(Reg::RAX, Reg::RCX);   // probe the candidate kernel address
+  b.cmp(Reg::RBX, 0);           // attacker-driven condition (Listing 2 jz)
+  b.jcc(Cond::Z, "khit");
+  b.jmp("kjoin");
+  b.nop(8);
+  b.label("khit").nop();        // "1: nop"
+  b.label("kjoin").nop();       // "2: nop" — the unreachable printf elided
+
+  if (window == WindowKind::Tsx)
+    b.tsx_end();
+  else
+    b.mfence();
+  emit_end(b);
+  return finish(b);
+}
+
+GadgetProgram make_prefetch_probe() {
+  ProgramBuilder b;
+  emit_start(b);
+  b.prefetch(Reg::RCX);
+  emit_end(b);
+  return finish(b);
+}
+
+GadgetProgram make_timed_load() {
+  ProgramBuilder b;
+  emit_start(b);
+  b.load_byte(Reg::RAX, Reg::RCX);
+  emit_end(b);
+  return finish(b);
+}
+
+isa::Program make_smt_spy(int iters) {
+  ProgramBuilder b;
+  b.rdtsc(Reg::R8).lfence();
+  b.mov(Reg::R12, 0);
+  b.label("loop");
+  b.nop(6);
+  b.add(Reg::R12, 1);
+  b.cmp(Reg::R12, iters);
+  b.jcc(Cond::NZ, "loop");
+  b.lfence().rdtsc(Reg::R9).halt();
+  return b.build();
+}
+
+GadgetProgram make_smt_trojan_skewed(bool bit, int skew_nops) {
+  ProgramBuilder b;
+  if (skew_nops > 0) b.nop(skew_nops);
+  if (bit) {
+    b.load_byte(Reg::RAX, Reg::RCX);  // RCX = unmapped → fault
+    b.nop(4);
+    b.label("after").halt();
+    GadgetProgram g{b.build(), -1};
+    g.signal_handler = g.prog.label("after");
+    return g;
+  }
+  b.mov(Reg::RAX, 0);
+  b.nop(4);
+  b.label("after").halt();
+  GadgetProgram g{b.build(), -1};
+  g.signal_handler = g.prog.label("after");
+  return g;
+}
+
+GadgetProgram make_smt_trojan(bool bit) {
+  ProgramBuilder b;
+  if (bit) {
+    // '1': suppressed page fault — the machine clear stalls the shared
+    // front end, which the spy observes (§4.4).
+    b.load_byte(Reg::RAX, Reg::RCX);  // RCX = unmapped → fault
+    b.nop(4);
+    b.label("after").halt();
+    GadgetProgram g{b.build(), -1};
+    g.signal_handler = g.prog.label("after");
+    return g;
+  }
+  // '0': architecturally similar work without a fault.
+  b.mov(Reg::RAX, 0);
+  b.nop(4);
+  b.label("after").halt();
+  GadgetProgram g{b.build(), -1};
+  g.signal_handler = g.prog.label("after");
+  return g;
+}
+
+GadgetProgram make_meltdown_fr_gadget(WindowKind window) {
+  ProgramBuilder b;
+  if (window == WindowKind::Tsx) b.tsx_begin("after");
+  b.load_byte(Reg::RAX, Reg::RCX);  // faulting secret load
+  b.shl(Reg::RAX, 6);               // byte -> cache-line offset
+  b.add(Reg::RAX, Reg::RDI);        // probe-array base
+  b.load_byte(Reg::R10, Reg::RAX);  // transient encode into the cache
+  if (window == WindowKind::Tsx)
+    b.tsx_end();
+  else
+    b.nop();
+  b.label("after").halt();
+  GadgetProgram g{b.build(), -1};
+  g.signal_handler = g.prog.label("after");
+  return g;
+}
+
+isa::Program make_fr_reload_sweep() {
+  ProgramBuilder b;
+  // RDI = probe array base, RSI = output buffer (256 qwords of latencies).
+  b.mov(Reg::R12, 0);        // line index
+  b.mov(Reg::R13, 0);        // scratch: current line address
+  b.label("loop");
+  b.mov(Reg::R13, Reg::RDI);
+  b.mov(Reg::R15, Reg::R12);
+  b.shl(Reg::R15, 6);
+  b.add(Reg::R13, Reg::R15);
+  b.lfence();
+  b.rdtsc(Reg::R8);
+  b.lfence();
+  b.load_byte(Reg::R10, Reg::R13);
+  b.lfence();
+  b.rdtsc(Reg::R9);
+  b.sub(Reg::R9, Reg::R8);
+  b.mov(Reg::R14, Reg::RSI);
+  b.mov(Reg::R15, Reg::R12);
+  b.shl(Reg::R15, 3);
+  b.add(Reg::R14, Reg::R15);
+  b.store(Reg::R14, Reg::R9);
+  b.add(Reg::R12, 1);
+  b.cmp(Reg::R12, 256);
+  b.jcc(Cond::NZ, "loop");
+  b.halt();
+  return b.build();
+}
+
+std::uint64_t run_tote(os::Machine& m, const GadgetProgram& g,
+                       const std::array<std::uint64_t, isa::kNumRegs>& regs,
+                       std::uint64_t cycle_limit) {
+  const uarch::RunResult r =
+      m.run_user(g.prog, regs, g.signal_handler, cycle_limit);
+  const auto& tsc = r.t0().tsc;
+  if (tsc.size() < 2 || tsc[1] <= tsc[0]) return 0;
+  return tsc[1] - tsc[0];
+}
+
+}  // namespace whisper::core

@@ -1,0 +1,110 @@
+// TET gadget builders — the attack programs of the paper, expressed in the
+// whisper ISA.
+//
+// Register contract shared by all gadgets (values supplied per probe):
+//   RCX = faulting / probe address
+//   RDX = architecturally readable secret address (CC, RSB variants)
+//   RBX = test value being swept (0..255)
+//   R8/R9 = rdtsc scratch
+//
+// Every gadget measures ToTE with a fenced RDTSC pair and returns control to
+// a `halt`, so `run_tote()` can extract end-start from the retired TSC trace.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/builder.h"
+#include "isa/program.h"
+#include "os/machine.h"
+
+namespace whisper::core {
+
+/// How the transient window is opened/suppressed — the paper's
+/// `transient_begin`: an Intel TSX transaction or a signal handler.
+enum class WindowKind : std::uint8_t { Tsx, Signal };
+
+/// Pick the cheap suppression if the part has TSX.
+[[nodiscard]] WindowKind preferred_window(const uarch::CpuConfig& cfg);
+
+/// Where the byte under test comes from inside the transient window.
+enum class SecretSource : std::uint8_t {
+  FaultingLoad,   // the faulting load itself forwards it (TET-MD / TET-ZBL)
+  SharedMemory,   // an ordinary load from RDX (TET-CC)
+  None,           // condition derives from RBX alone (TET-KASLR)
+};
+
+struct GadgetProgram {
+  isa::Program prog;
+  int signal_handler = -1;  // valid instruction index for Signal windows
+};
+
+struct TetGadgetSpec {
+  WindowKind window = WindowKind::Tsx;
+  SecretSource source = SecretSource::FaultingLoad;
+  /// Extra nops between the branch join point and the window end — the
+  /// Fig. 4 experiment ("number of nop instructions preceding the mfence").
+  int pad_nops_before_end = 0;
+};
+
+/// Fig. 1a: the basic TET gadget (also TET-CC / TET-MD / TET-ZBL bodies).
+[[nodiscard]] GadgetProgram make_tet_gadget(const TetGadgetSpec& spec);
+
+/// Branchless control variant of the Fig. 1a gadget: the secret comparison
+/// feeds a CMOV instead of a Jcc. No misprediction, no resteer — the TET
+/// channel is silent. Demonstrates the constant-time software mitigation.
+[[nodiscard]] GadgetProgram make_tet_gadget_branchless(WindowKind window);
+
+/// TET-Spectre-V1 gadget (extension): a bounds check on a flushed length
+/// opens the speculative window; the transient in-bounds path performs the
+/// secret-dependent Jcc. Registers: RDI = &array_length (flushed per
+/// probe), RSI = index, RDX = array base, RBX = test value.
+[[nodiscard]] GadgetProgram make_spectre_v1_gadget();
+
+/// Listing 1: the TET-RSB gadget. Overwrites its own return address (to
+/// label `after`), flushes the stack slot, and returns — the RSB predicts
+/// the original return site where the secret-dependent Jcc executes
+/// transiently.
+[[nodiscard]] GadgetProgram make_rsb_gadget();
+
+/// Listing 2: the TET-KASLR probe. Faulting load of the probe address
+/// (RCX) plus a Jcc whose direction the attacker drives via RBX
+/// (RBX == 0 => taken). ToTE separates mapped from unmapped targets.
+[[nodiscard]] GadgetProgram make_kaslr_gadget(WindowKind window);
+
+/// Prefetch-timing probe (EntryBleed-style baseline): rdtsc-fenced
+/// PREFETCH of RCX. Never faults; latency exposes the walk time only.
+[[nodiscard]] GadgetProgram make_prefetch_probe();
+
+/// A fenced, timed single load of [RCX] (Flush+Reload's reload step and
+/// general latency probing).
+[[nodiscard]] GadgetProgram make_timed_load();
+
+/// §4.4 SMT covert channel: the spy's timed nop loop. Runs `iters`
+/// iterations of a fixed nop body between an initial and final RDTSC.
+[[nodiscard]] isa::Program make_smt_spy(int iters);
+
+/// §4.4: the trojan sends '1' by triggering a suppressed page fault
+/// (pipeline flush steals the shared front end), '0' by an equally long
+/// nop sequence.
+[[nodiscard]] GadgetProgram make_smt_trojan(bool bit);
+
+/// Trojan with `skew_nops` of leading work — models imperfect
+/// sender/receiver synchronisation at high symbol rates (§4.4).
+[[nodiscard]] GadgetProgram make_smt_trojan_skewed(bool bit, int skew_nops);
+
+/// Meltdown + Flush&Reload baseline: transient gadget that encodes the
+/// faulted byte into a 256-line probe array at RDI (TET comparison point).
+[[nodiscard]] GadgetProgram make_meltdown_fr_gadget(WindowKind window);
+
+/// Reload timer: measures the load latency of all 256 probe-array lines
+/// (base RDI) and stores the cycle counts to the buffer at RSI.
+[[nodiscard]] isa::Program make_fr_reload_sweep();
+
+/// Run a gadget once on `m` and return the measured ToTE (end - start), or
+/// 0 if the program did not retire both RDTSCs within the cycle budget.
+[[nodiscard]] std::uint64_t run_tote(
+    os::Machine& m, const GadgetProgram& g,
+    const std::array<std::uint64_t, isa::kNumRegs>& regs,
+    std::uint64_t cycle_limit = 200'000);
+
+}  // namespace whisper::core

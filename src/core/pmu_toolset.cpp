@@ -1,0 +1,181 @@
+#include "core/pmu_toolset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+
+namespace whisper::core {
+
+std::vector<uarch::PmuEvent> PmuToolset::catalog() const {
+  std::vector<uarch::PmuEvent> events;
+  const uarch::Vendor vendor = m_.config().vendor;
+  for (std::size_t i = 0; i < uarch::kNumPmuEvents; ++i) {
+    const auto e = static_cast<uarch::PmuEvent>(i);
+    if (e == uarch::PmuEvent::CORE_CYCLES || event_vendor(e) == vendor)
+      events.push_back(e);
+  }
+  return events;
+}
+
+EventRecord PmuToolset::measure(uarch::PmuEvent event,
+                                const Scenario& baseline,
+                                const Scenario& variant) {
+  EventRecord r;
+  r.event = event;
+  const std::size_t idx = static_cast<std::size_t>(event);
+
+  auto run_one = [&](const Scenario& s) {
+    const uarch::PmuSnapshot before = m_.core().pmu().snapshot();
+    s(m_);
+    const uarch::PmuSnapshot after = m_.core().pmu().snapshot();
+    return static_cast<double>(uarch::pmu_delta(before, after)[idx]);
+  };
+  r.baseline = run_one(baseline);
+  r.variant = run_one(variant);
+  return r;
+}
+
+std::vector<EventRecord> PmuToolset::collect(const Scenario& baseline,
+                                             const Scenario& variant,
+                                             int repeats) {
+  std::vector<EventRecord> out;
+  repeats = std::max(1, repeats);
+  // Warm caches/TLBs once so cold-start effects don't masquerade as
+  // scenario differences (the paper's flow measures a warm attack loop).
+  baseline(m_);
+  variant(m_);
+  for (uarch::PmuEvent event : catalog()) {
+    std::vector<double> base_runs, var_runs;
+    base_runs.reserve(static_cast<std::size_t>(repeats));
+    var_runs.reserve(static_cast<std::size_t>(repeats));
+    for (int rep = 0; rep < repeats; ++rep) {
+      const EventRecord one = measure(event, baseline, variant);
+      base_runs.push_back(one.baseline);
+      var_runs.push_back(one.variant);
+    }
+    auto median = [](std::vector<double>& v) {
+      std::sort(v.begin(), v.end());
+      const std::size_t n = v.size();
+      return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    };
+    EventRecord r;
+    r.event = event;
+    r.baseline = median(base_runs);
+    r.variant = median(var_runs);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<EventRecord> PmuToolset::filter_significant(
+    std::vector<EventRecord> records, double min_rel, double min_abs) {
+  std::erase_if(records, [&](const EventRecord& r) {
+    return std::abs(r.delta()) < min_abs ||
+           std::abs(r.rel_delta()) < min_rel;
+  });
+  std::sort(records.begin(), records.end(),
+            [](const EventRecord& a, const EventRecord& b) {
+              return std::abs(a.rel_delta()) > std::abs(b.rel_delta());
+            });
+  return records;
+}
+
+std::string PmuToolset::report(const std::vector<EventRecord>& records,
+                               const std::string& title,
+                               const std::string& baseline_name,
+                               const std::string& variant_name) {
+  std::ostringstream out;
+  out << title << '\n';
+  out << std::left << std::setw(52) << "Event" << std::right << std::setw(14)
+      << baseline_name << std::setw(14) << variant_name << std::setw(10)
+      << "delta" << '\n';
+  out << std::string(90, '-') << '\n';
+  for (const EventRecord& r : records) {
+    out << std::left << std::setw(52) << uarch::to_string(r.event)
+        << std::right << std::fixed << std::setprecision(0) << std::setw(14)
+        << r.baseline << std::setw(14) << r.variant << std::showpos
+        << std::setw(10) << r.delta() << std::noshowpos << '\n';
+  }
+  return out.str();
+}
+
+// --- Prebuilt scenarios -----------------------------------------------------
+
+namespace {
+
+constexpr std::uint8_t kSecretByte = 'S';
+
+std::array<std::uint64_t, isa::kNumRegs> regs_with(
+    std::initializer_list<std::pair<isa::Reg, std::uint64_t>> kv) {
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  for (const auto& [r, v] : kv) regs[static_cast<std::size_t>(r)] = v;
+  return regs;
+}
+
+}  // namespace
+
+PmuToolset::Scenario scenario_tet_cc(bool trigger) {
+  return [trigger](os::Machine& m) {
+    m.core().reset_bpu();
+    m.poke8(os::Machine::kSharedBase, kSecretByte);
+    const GadgetProgram g =
+        make_tet_gadget({.window = preferred_window(m.config()),
+                         .source = SecretSource::SharedMemory});
+    const auto regs = regs_with(
+        {{isa::Reg::RCX, kNullProbeAddress},
+         {isa::Reg::RDX, os::Machine::kSharedBase},
+         {isa::Reg::RBX, trigger ? kSecretByte : kSecretByte + 1}});
+    (void)run_tote(m, g, regs);
+  };
+}
+
+PmuToolset::Scenario scenario_tet_md(bool trigger) {
+  return [trigger](os::Machine& m) {
+    m.core().reset_bpu();
+    const std::uint8_t secret[] = {kSecretByte};
+    const std::uint64_t kaddr = m.plant_kernel_secret(secret);
+    const GadgetProgram g =
+        make_tet_gadget({.window = preferred_window(m.config()),
+                         .source = SecretSource::FaultingLoad});
+    const auto regs = regs_with(
+        {{isa::Reg::RCX, kaddr},
+         {isa::Reg::RBX, trigger ? kSecretByte : kSecretByte + 1}});
+    (void)run_tote(m, g, regs);
+  };
+}
+
+PmuToolset::Scenario scenario_kaslr(bool mapped) {
+  return [mapped](os::Machine& m) {
+    const std::uint64_t target = mapped
+                                     ? m.kernel().kernel_base()
+                                     : m.kernel().unmapped_probe_address();
+    const GadgetProgram g =
+        make_kaslr_gadget(preferred_window(m.config()));
+    m.evict_tlbs();
+    const auto regs =
+        regs_with({{isa::Reg::RCX, target}, {isa::Reg::RBX, 0}});
+    (void)run_tote(m, g, regs);
+  };
+}
+
+PmuToolset::Scenario scenario_flow(bool trigger, int pad_nops) {
+  return [trigger, pad_nops](os::Machine& m) {
+    m.core().reset_bpu();
+    m.poke8(os::Machine::kSharedBase, kSecretByte);
+    const GadgetProgram g =
+        make_tet_gadget({.window = preferred_window(m.config()),
+                         .source = SecretSource::SharedMemory,
+                         .pad_nops_before_end = pad_nops});
+    const auto regs = regs_with(
+        {{isa::Reg::RCX, kNullProbeAddress},
+         {isa::Reg::RDX, os::Machine::kSharedBase},
+         {isa::Reg::RBX, trigger ? kSecretByte : kSecretByte + 1}});
+    (void)run_tote(m, g, regs);
+  };
+}
+
+}  // namespace whisper::core

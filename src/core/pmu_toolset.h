@@ -1,0 +1,81 @@
+// The PMU analysis toolset of §5 / Fig. 2: preparation (event catalog),
+// online collection (run the scenario under one event at a time, as a
+// perf-style single programmable counter would), and offline analysis
+// (differential filtering between a baseline and a variant scenario).
+//
+// The paper used this flow to isolate the Table 3 events that separate
+// "Jcc triggered" from "not triggered" runs; the same flow reproduces that
+// table against the model.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "os/machine.h"
+#include "uarch/pmu.h"
+
+namespace whisper::core {
+
+struct EventRecord {
+  uarch::PmuEvent event = uarch::PmuEvent::CORE_CYCLES;
+  double baseline = 0.0;  // median count, baseline scenario
+  double variant = 0.0;   // median count, variant scenario
+
+  [[nodiscard]] double delta() const noexcept { return variant - baseline; }
+  [[nodiscard]] double rel_delta() const noexcept {
+    const double denom = baseline != 0.0 ? baseline : 1.0;
+    return delta() / denom;
+  }
+};
+
+class PmuToolset {
+ public:
+  /// A measured scenario: everything between two PMU snapshots.
+  using Scenario = std::function<void(os::Machine&)>;
+
+  explicit PmuToolset(os::Machine& m) : m_(m) {}
+
+  /// Stage 1 — preparation: all events this vendor's perf list exposes.
+  [[nodiscard]] std::vector<uarch::PmuEvent> catalog() const;
+
+  /// Stage 2 — online collection: median counter delta over `repeats` runs
+  /// of each scenario, collected one event at a time.
+  [[nodiscard]] std::vector<EventRecord> collect(const Scenario& baseline,
+                                                 const Scenario& variant,
+                                                 int repeats = 5);
+
+  /// Measure a single event once for each scenario (no medians).
+  [[nodiscard]] EventRecord measure(uarch::PmuEvent event,
+                                    const Scenario& baseline,
+                                    const Scenario& variant);
+
+  /// Stage 3 — offline analysis: keep events whose scenario delta is both
+  /// relatively (>= min_rel) and absolutely (>= min_abs) significant.
+  [[nodiscard]] static std::vector<EventRecord> filter_significant(
+      std::vector<EventRecord> records, double min_rel = 0.05,
+      double min_abs = 1.0);
+
+  /// Table-formatted report, largest |relative delta| first.
+  [[nodiscard]] static std::string report(
+      const std::vector<EventRecord>& records, const std::string& title,
+      const std::string& baseline_name = "baseline",
+      const std::string& variant_name = "variant");
+
+ private:
+  os::Machine& m_;
+};
+
+// --- Prebuilt paper scenarios (the Table 3 scenes) -------------------------
+
+/// TET-CC gadget, one probe; trigger == the Jcc condition holds.
+[[nodiscard]] PmuToolset::Scenario scenario_tet_cc(bool trigger);
+/// TET-MD gadget against a planted kernel secret.
+[[nodiscard]] PmuToolset::Scenario scenario_tet_md(bool trigger);
+/// TET-KASLR probe of a mapped vs. unmapped kernel address.
+[[nodiscard]] PmuToolset::Scenario scenario_kaslr(bool mapped);
+/// The §5.2.5 transient-flow experiment: trigger/not with `pad_nops`
+/// before the window-ending fence.
+[[nodiscard]] PmuToolset::Scenario scenario_flow(bool trigger, int pad_nops);
+
+}  // namespace whisper::core

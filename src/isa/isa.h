@@ -1,0 +1,144 @@
+// Core ISA definitions for the x86-flavoured instruction set executed by the
+// whisper::uarch pipeline model.
+//
+// The ISA is deliberately compact: it contains exactly the instructions the
+// paper's gadgets need (Fig. 1a, Listing 1, Listing 2) plus enough ALU /
+// control-flow support to write realistic victims, covert channels and
+// benchmark kernels. Code addresses are instruction indices; the process
+// layer maps them onto virtual code addresses for i-cache/ITLB purposes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace whisper::isa {
+
+/// General-purpose registers (64-bit).
+enum class Reg : std::uint8_t {
+  RAX, RBX, RCX, RDX, RSI, RDI, RBP, RSP,
+  R8, R9, R10, R11, R12, R13, R14, R15,
+  Count,
+  None = 0xff,
+};
+
+inline constexpr std::size_t kNumRegs =
+    static_cast<std::size_t>(Reg::Count);
+
+[[nodiscard]] std::string to_string(Reg r);
+
+/// Condition codes for Jcc. The paper verified JE/JZ, JNE/JNZ and JC
+/// (section 1); the full set is provided since "all conditional jump
+/// instructions of x86 chips could be exploited".
+enum class Cond : std::uint8_t { Z, NZ, C, NC, S, NS, O, NO };
+
+[[nodiscard]] std::string to_string(Cond c);
+
+/// Architectural flags produced by ALU/compare instructions.
+struct Flags {
+  bool zf = false;
+  bool cf = false;
+  bool sf = false;
+  bool of = false;
+
+  friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+/// Evaluate a condition code against a flags value.
+[[nodiscard]] constexpr bool eval_cond(Cond c, const Flags& f) noexcept {
+  switch (c) {
+    case Cond::Z:  return f.zf;
+    case Cond::NZ: return !f.zf;
+    case Cond::C:  return f.cf;
+    case Cond::NC: return !f.cf;
+    case Cond::S:  return f.sf;
+    case Cond::NS: return !f.sf;
+    case Cond::O:  return f.of;
+    case Cond::NO: return !f.of;
+  }
+  return false;
+}
+
+enum class Opcode : std::uint8_t {
+  Nop,
+  MovRI,     // dst <- imm
+  MovRR,     // dst <- src
+  Load,      // dst <- mem64[base + disp]
+  LoadByte,  // dst <- zext mem8[base + disp]
+  Store,     // mem64[base + disp] <- src
+  StoreByte, // mem8[base + disp] <- src (low byte)
+  AddRI, AddRR,
+  SubRI, SubRR,
+  AndRI, OrRI, XorRR,
+  ShlRI, ShrRI,
+  ImulRR,    // dst <- dst * src (3-cycle latency)
+  Neg,       // dst <- -dst
+  Not,       // dst <- ~dst (flags unchanged)
+  Lea,       // dst <- base + disp (address generation, no memory access)
+  Cmov,      // dst <- cond ? src : dst — the branchless data move that
+             // defeats the TET channel (no Jcc, no resteer)
+  CmpRI,     // flags <- dst - imm
+  CmpRR,     // flags <- dst - src
+  TestRR,    // flags <- dst & src
+  Jcc,       // conditional jump to `target` when cond holds
+  Jmp,       // unconditional jump to `target`
+  Call,      // push return index onto stack memory, jump to `target`
+  Ret,       // pop return index from stack memory, jump to it
+  Clflush,   // flush cache line containing [base + disp]
+  Prefetch,  // software prefetch of [base + disp]; never faults
+  Mfence,    // full fence: drains older loads+stores before younger issue
+  Lfence,    // dispatch-serialising fence (as on Intel)
+  AvxOp,     // 256-bit vector op: needs the AVX unit powered up — its
+             // warm-up latency is the AVX-timing side channel's probe
+  Rdtsc,     // dst <- current core cycle
+  Rdtscp,    // dst <- core cycle, ordered after all older instructions
+  Pause,     // spin-wait hint (longer nop)
+  TsxBegin,  // begin transactional region; `target` is the abort handler
+  TsxEnd,    // commit transactional region
+  Halt,      // terminate the hardware thread
+};
+
+[[nodiscard]] std::string to_string(Opcode op);
+
+/// One decoded instruction.
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  Reg dst = Reg::None;
+  Reg src = Reg::None;
+  Reg base = Reg::None;    // base register for memory operands
+  std::int64_t imm = 0;    // immediate operand
+  std::int64_t disp = 0;   // memory displacement
+  Cond cond = Cond::Z;
+  std::int32_t target = -1;  // branch target: instruction index
+
+  [[nodiscard]] bool is_branch() const noexcept {
+    return op == Opcode::Jcc || op == Opcode::Jmp || op == Opcode::Call ||
+           op == Opcode::Ret;
+  }
+  [[nodiscard]] bool is_cond_branch() const noexcept {
+    return op == Opcode::Jcc;
+  }
+  [[nodiscard]] bool is_load() const noexcept {
+    return op == Opcode::Load || op == Opcode::LoadByte || op == Opcode::Ret;
+  }
+  [[nodiscard]] bool is_store() const noexcept {
+    return op == Opcode::Store || op == Opcode::StoreByte ||
+           op == Opcode::Call;
+  }
+  [[nodiscard]] bool is_mem() const noexcept {
+    return is_load() || is_store() || op == Opcode::Clflush ||
+           op == Opcode::Prefetch;
+  }
+  [[nodiscard]] bool is_fence() const noexcept {
+    return op == Opcode::Mfence || op == Opcode::Lfence;
+  }
+  [[nodiscard]] bool writes_flags() const noexcept;
+  [[nodiscard]] bool reads_flags() const noexcept {
+    return op == Opcode::Jcc || op == Opcode::Cmov;
+  }
+  /// Micro-op expansion count charged to IDQ/issue bandwidth.
+  [[nodiscard]] int uops() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace whisper::isa

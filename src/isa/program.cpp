@@ -1,0 +1,62 @@
+#include "isa/program.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace whisper::isa {
+
+Program::Program(std::vector<Instruction> code,
+                 std::map<std::string, int> labels)
+    : code_(std::move(code)), labels_(std::move(labels)) {
+  validate();
+}
+
+int Program::label(const std::string& name) const {
+  auto it = labels_.find(name);
+  if (it == labels_.end())
+    throw std::out_of_range("Program: unknown label '" + name + "'");
+  return it->second;
+}
+
+bool Program::has_label(const std::string& name) const {
+  return labels_.contains(name);
+}
+
+void Program::validate() const {
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const Instruction& in = code_[i];
+    const bool needs_target = in.op == Opcode::Jcc || in.op == Opcode::Jmp ||
+                              in.op == Opcode::Call ||
+                              in.op == Opcode::TsxBegin;
+    if (needs_target) {
+      if (in.target < 0 ||
+          static_cast<std::size_t>(in.target) >= code_.size()) {
+        std::ostringstream msg;
+        msg << "Program: instruction " << i << " (" << in.to_string()
+            << ") has out-of-range target " << in.target;
+        throw std::invalid_argument(msg.str());
+      }
+    }
+  }
+  for (const auto& [name, idx] : labels_) {
+    if (idx < 0 || static_cast<std::size_t>(idx) > code_.size())
+      throw std::invalid_argument("Program: label '" + name +
+                                  "' is out of range");
+  }
+}
+
+std::string Program::disassemble() const {
+  // Invert the label map for annotation.
+  std::map<int, std::vector<std::string>> by_index;
+  for (const auto& [name, idx] : labels_) by_index[idx].push_back(name);
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    if (auto it = by_index.find(static_cast<int>(i)); it != by_index.end())
+      for (const auto& name : it->second) out << name << ":\n";
+    out << "  " << i << ":\t" << code_[i].to_string() << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace whisper::isa

@@ -1,0 +1,43 @@
+// A validated, label-resolved instruction sequence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace whisper::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Instruction> code, std::map<std::string, int> labels);
+
+  [[nodiscard]] const std::vector<Instruction>& code() const noexcept {
+    return code_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return code_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return code_.empty(); }
+  [[nodiscard]] const Instruction& at(std::size_t i) const {
+    return code_.at(i);
+  }
+
+  /// Instruction index of a named label; throws std::out_of_range if absent.
+  [[nodiscard]] int label(const std::string& name) const;
+  [[nodiscard]] bool has_label(const std::string& name) const;
+
+  /// Multi-line disassembly listing with label annotations.
+  [[nodiscard]] std::string disassemble() const;
+
+  /// Verify every branch/TSX target is a valid instruction index.
+  /// Throws std::invalid_argument on malformed code.
+  void validate() const;
+
+ private:
+  std::vector<Instruction> code_;
+  std::map<std::string, int> labels_;
+};
+
+}  // namespace whisper::isa

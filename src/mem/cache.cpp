@@ -1,0 +1,82 @@
+#include "mem/cache.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace whisper::mem {
+
+Cache::Cache(std::size_t sets, std::size_t ways) : sets_(sets), ways_(ways) {
+  if (sets == 0 || !std::has_single_bit(sets))
+    throw std::invalid_argument("Cache: sets must be a power of two");
+  if (ways == 0) throw std::invalid_argument("Cache: ways must be >= 1");
+  ways_storage_.resize(sets_ * ways_);
+}
+
+bool Cache::access(std::uint64_t paddr) {
+  const std::uint64_t line = paddr / kLineBytes;
+  const std::size_t set = set_index(line);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[set * ways_ + w];
+    if (way.valid && way.tag == line) {
+      way.lru = ++tick_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Cache::contains(std::uint64_t paddr) const {
+  const std::uint64_t line = paddr / kLineBytes;
+  const std::size_t set = set_index(line);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    const Way& way = ways_storage_[set * ways_ + w];
+    if (way.valid && way.tag == line) return true;
+  }
+  return false;
+}
+
+std::uint64_t Cache::fill(std::uint64_t paddr) {
+  const std::uint64_t line = paddr / kLineBytes;
+  const std::size_t set = set_index(line);
+  Way* victim = nullptr;
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[set * ways_ + w];
+    if (way.valid && way.tag == line) {
+      way.lru = ++tick_;
+      return 0;  // already resident
+    }
+    if (!way.valid) {
+      if (!victim || victim->valid) victim = &way;
+    } else if (!victim || (victim->valid && way.lru < victim->lru)) {
+      victim = &way;
+    }
+  }
+  std::uint64_t evicted = 0;
+  if (victim->valid) evicted = victim->tag * kLineBytes;
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = ++tick_;
+  return evicted;
+}
+
+void Cache::flush_line(std::uint64_t paddr) {
+  const std::uint64_t line = paddr / kLineBytes;
+  const std::size_t set = set_index(line);
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[set * ways_ + w];
+    if (way.valid && way.tag == line) way.valid = false;
+  }
+}
+
+void Cache::flush_all() {
+  for (Way& way : ways_storage_) way.valid = false;
+}
+
+std::size_t Cache::occupancy() const noexcept {
+  std::size_t n = 0;
+  for (const Way& way : ways_storage_)
+    if (way.valid) ++n;
+  return n;
+}
+
+}  // namespace whisper::mem

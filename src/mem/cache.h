@@ -1,0 +1,51 @@
+// Set-associative data cache (physical-address indexed) with LRU
+// replacement and CLFLUSH support. Instances are stacked into an
+// L1/L2/LLC hierarchy by MemorySystem; the Flush+Reload baseline depends on
+// transient fills being architecturally persistent here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace whisper::mem {
+
+class Cache {
+ public:
+  /// `sets` must be a power of two. Line size is 64 bytes throughout.
+  Cache(std::size_t sets, std::size_t ways);
+
+  static constexpr std::uint64_t kLineBytes = 64;
+
+  /// True if the line containing paddr is resident; updates LRU on hit.
+  bool access(std::uint64_t paddr);
+  /// Probe without touching LRU.
+  [[nodiscard]] bool contains(std::uint64_t paddr) const;
+  /// Install the line containing paddr (evicting LRU if needed).
+  /// Returns the evicted line address, or 0 if none was evicted.
+  std::uint64_t fill(std::uint64_t paddr);
+  /// Remove the line containing paddr if resident (CLFLUSH).
+  void flush_line(std::uint64_t paddr);
+  void flush_all();
+
+  [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::size_t occupancy() const noexcept;
+
+ private:
+  struct Way {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+  };
+
+  [[nodiscard]] std::size_t set_index(std::uint64_t line) const noexcept {
+    return static_cast<std::size_t>(line) & (sets_ - 1);
+  }
+
+  std::size_t sets_;
+  std::size_t ways_;
+  std::uint64_t tick_ = 0;
+  std::vector<Way> ways_storage_;
+};
+
+}  // namespace whisper::mem

@@ -1,0 +1,74 @@
+#include "mem/lfb.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace whisper::mem {
+
+void LineFillBuffer::record(std::uint64_t paddr_line,
+                            const std::uint8_t (&data)[kLineBytes]) {
+  // Reuse an entry for the same line, else take the oldest slot.
+  Entry* slot = nullptr;
+  for (Entry& e : entries_) {
+    if (e.valid && e.line == paddr_line) {
+      slot = &e;
+      break;
+    }
+  }
+  if (!slot) {
+    slot = &entries_[0];
+    for (Entry& e : entries_) {
+      if (!e.valid) {
+        slot = &e;
+        break;
+      }
+      if (e.seq < slot->seq) slot = &e;
+    }
+    if (!slot->valid) ++used_;
+  }
+  slot->valid = true;
+  slot->line = paddr_line;
+  std::copy(std::begin(data), std::end(data), slot->data.begin());
+  slot->seq = ++seq_;
+}
+
+void LineFillBuffer::record_value(std::uint64_t paddr, std::uint64_t value,
+                                  std::size_t len) {
+  std::uint8_t line[kLineBytes] = {};
+  const std::size_t off = paddr % kLineBytes;
+  for (std::size_t i = 0; i < len && off + i < kLineBytes; ++i)
+    line[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+  record(paddr & ~(kLineBytes - 1), line);
+}
+
+const LineFillBuffer::Entry* LineFillBuffer::newest() const {
+  const Entry* best = nullptr;
+  for (const Entry& e : entries_)
+    if (e.valid && (!best || e.seq > best->seq)) best = &e;
+  return best;
+}
+
+std::optional<std::uint8_t> LineFillBuffer::stale_byte(
+    std::size_t offset) const {
+  const Entry* e = newest();
+  if (!e) return std::nullopt;
+  return e->data[offset % kLineBytes];
+}
+
+std::optional<std::uint64_t> LineFillBuffer::stale_qword(
+    std::size_t offset) const {
+  const Entry* e = newest();
+  if (!e) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(e->data[(offset + i) % kLineBytes])
+         << (8 * i);
+  return v;
+}
+
+void LineFillBuffer::clear() {
+  for (Entry& e : entries_) e.valid = false;
+  used_ = 0;
+}
+
+}  // namespace whisper::mem

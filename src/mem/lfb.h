@@ -1,0 +1,51 @@
+// Line fill buffer (LFB) model.
+//
+// The LFB tracks cache lines in flight between the core and the memory
+// hierarchy. On the MDS-vulnerable models (i7-6700 / i7-7700) a faulting or
+// assisted load may speculatively forward *stale* data from an LFB entry
+// belonging to another context — the Zombieload primitive (paper §4.3.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace whisper::mem {
+
+class LineFillBuffer {
+ public:
+  static constexpr std::size_t kEntries = 10;  // Skylake-class LFB depth
+  static constexpr std::uint64_t kLineBytes = 64;
+
+  /// Record a line moving through the buffer with its 64 data bytes.
+  void record(std::uint64_t paddr_line, const std::uint8_t (&data)[kLineBytes]);
+  /// Convenience: record only the bytes around `paddr` (rest zero-filled).
+  void record_value(std::uint64_t paddr, std::uint64_t value,
+                    std::size_t len);
+
+  /// The stale byte an MDS-style faulting load would sample for a load at
+  /// line offset `offset`. Returns nullopt when the buffer is empty.
+  [[nodiscard]] std::optional<std::uint8_t> stale_byte(
+      std::size_t offset) const;
+  [[nodiscard]] std::optional<std::uint64_t> stale_qword(
+      std::size_t offset) const;
+
+  void clear();
+  [[nodiscard]] std::size_t occupancy() const noexcept { return used_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t line = 0;
+    std::array<std::uint8_t, kLineBytes> data{};
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] const Entry* newest() const;
+
+  std::array<Entry, kEntries> entries_{};
+  std::size_t used_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace whisper::mem

@@ -1,0 +1,214 @@
+// MemorySystem: the memory side of the core model.
+//
+// Composes TLBs, paging-structure caches, the L1/L2/LLC hierarchy, the line
+// fill buffer and the active page tables into a single `access()` call that
+// returns everything the pipeline needs: latency, fault classification,
+// (possibly transiently forwarded) data, and the microarchitectural
+// bookkeeping that drives the PMU events of Table 3.
+//
+// Behavioural policies reproduced from the paper:
+//  * `tlb_fill_on_permission_fault` — Intel parts install a DTLB entry for a
+//    *mapped* supervisor page even when the user-mode access faults
+//    (§4.5, "Intel's CPUs will trigger the loading of TLB entries for mapped
+//    addresses, even for illegal access without permission").
+//  * Unmapped addresses cause the walk to be *replayed*
+//    (DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK = 2 in Table 3) and leave the
+//    walker active far longer (WALK_ACTIVE 62 vs 0) — extending ToTE.
+//  * `meltdown_forwards_data` — pre-fix parts forward the real data of a
+//    permission-faulting load to dependents.
+//  * `lfb_forwards_stale` — MDS parts let a faulting/assisted load sample a
+//    stale line-fill-buffer byte (Zombieload).
+//  * Reserved-bit leaves (the FLARE dummy model) complete a full walk but
+//    never fill the TLB.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/cache.h"
+#include "mem/lfb.h"
+#include "mem/page_table.h"
+#include "mem/phys_mem.h"
+#include "mem/tlb.h"
+#include "stats/rng.h"
+
+namespace whisper::mem {
+
+/// Memory-model parameters; embedded in uarch::CpuConfig.
+struct MemConfig {
+  // Cache geometry (sets x ways, 64 B lines) and load-to-use latencies.
+  std::size_t l1_sets = 64, l1_ways = 8;
+  std::size_t l2_sets = 1024, l2_ways = 8;
+  std::size_t l3_sets = 8192, l3_ways = 16;
+  int l1_latency = 4;
+  int l2_latency = 12;
+  int l3_latency = 42;
+  int dram_latency = 200;
+
+  // TLB geometry.
+  std::size_t dtlb_sets = 16, dtlb_ways = 4;
+  std::size_t itlb_sets = 8, itlb_ways = 8;
+  std::size_t stlb_sets = 128, stlb_ways = 8;
+  int stlb_latency = 7;
+
+  // Page walk: cycles per table level actually fetched, and how many times
+  // the walk is replayed when the address turns out to be unmapped.
+  int walk_level_cycles = 15;
+  int not_present_replays = 2;
+
+  // Cycles the permission/presence check adds after translation before a
+  // faulting access is confirmed — this keeps the transient window open for
+  // the gadget's Jcc to resolve in, even when the translation was a TLB hit.
+  int fault_confirm_min_cycles = 16;
+
+  // Paper-critical policy flags (defaults = Intel pre-fix behaviour).
+  bool tlb_fill_on_permission_fault = true;
+  bool meltdown_forwards_data = true;
+  bool lfb_forwards_stale = true;
+
+  // Uniform jitter in [0, amp] cycles added to DRAM accesses and walks.
+  int jitter_amp = 2;
+  std::uint64_t seed = 0x5eed;
+};
+
+enum class AccessType : std::uint8_t { Read, Write, Prefetch, Fetch };
+enum class Fault : std::uint8_t {
+  None,
+  NotPresent,   // page not mapped
+  Permission,   // mapped, but user access to supervisor page
+  Protection,   // mapped, but write to read-only page
+  ReservedBit,  // mapped via FLARE dummy (reserved bit set in leaf)
+};
+
+struct AccessRequest {
+  std::uint64_t vaddr = 0;
+  AccessType type = AccessType::Read;
+  bool user_mode = true;
+  std::uint8_t size = 8;          // 1 or 8 bytes
+  std::uint64_t store_value = 0;  // for writes
+};
+
+struct AccessResult {
+  int latency = 0;            // total cycles until data/fault is known
+  Fault fault = Fault::None;
+  std::uint64_t data = 0;     // load result (possibly transiently forwarded)
+  std::uint64_t paddr = 0;    // valid when translation succeeded
+  bool data_forwarded = false;   // data is transient-only (fault != None)
+  bool from_lfb_stale = false;   // data came from a stale LFB entry
+  bool tlb_hit = false;
+  bool tlb_filled = false;
+  int walks = 0;              // walks initiated (unmapped: replay count)
+  int walk_cycles = 0;        // cycles with the walker active
+  int cache_level = 0;        // 1..3 = cache hit level, 4 = DRAM, 0 = n/a
+};
+
+/// Sink for memory-side PMU events; implemented by uarch::Pmu.
+class MemEventSink {
+ public:
+  virtual ~MemEventSink() = default;
+  virtual void on_dtlb_miss_walk(int walks) = 0;
+  virtual void on_dtlb_walk_cycles(int cycles) = 0;
+  virtual void on_itlb_walk_cycles(int cycles) = 0;
+  virtual void on_stlb_hit() = 0;
+  virtual void on_cache_hit(int level) = 0;
+  virtual void on_dram_access() = 0;
+};
+
+class MemorySystem {
+ public:
+  explicit MemorySystem(const MemConfig& cfg);
+
+  /// The page tables used for subsequent translations (CR3). Not owned.
+  void set_page_table(const PageTable* pt);
+  [[nodiscard]] const PageTable* page_table() const noexcept { return pt_; }
+
+  /// Optional PMU sink (not owned); may be null.
+  void set_event_sink(MemEventSink* sink) noexcept { sink_ = sink; }
+
+  /// Perform a data-side access: translate, classify faults, compute
+  /// latency, fetch/forward data, and update TLB/cache/LFB state.
+  AccessResult access(const AccessRequest& req);
+
+  /// Instruction-side translation probe used by the front end after a
+  /// resteer to an uncached target; charges ITLB walk cycles.
+  int instruction_probe(std::uint64_t vaddr);
+
+  /// CLFLUSH: evict the line containing the *translated* vaddr from the
+  /// whole hierarchy. No-op for unmapped addresses (real CLFLUSH would
+  /// fault; gadgets only flush their own mapped buffers).
+  void clflush(std::uint64_t vaddr);
+
+  /// TLB maintenance (used by the attacker's eviction step and CR3 switch).
+  void flush_tlbs();
+  void flush_tlbs_non_global();
+  void invalidate_tlb_page(std::uint64_t vaddr);
+
+  /// Direct, timing-free physical access for machine setup and for applying
+  /// retired stores.
+  PhysicalMemory& phys() noexcept { return phys_; }
+  const PhysicalMemory& phys() const noexcept { return phys_; }
+
+  /// Timing-free architectural read/write through the current page table
+  /// (asserts the mapping exists). Used by Machine setup and result readout.
+  [[nodiscard]] std::uint64_t debug_read64(std::uint64_t vaddr) const;
+  [[nodiscard]] std::uint8_t debug_read8(std::uint64_t vaddr) const;
+  void debug_write64(std::uint64_t vaddr, std::uint64_t value);
+  void debug_write8(std::uint64_t vaddr, std::uint8_t value);
+
+  /// Translate without side effects; throws std::runtime_error if unmapped.
+  [[nodiscard]] std::uint64_t translate_or_throw(std::uint64_t vaddr) const;
+
+  [[nodiscard]] Tlb& dtlb() noexcept { return dtlb_; }
+  [[nodiscard]] Tlb& itlb() noexcept { return itlb_; }
+  [[nodiscard]] Tlb& stlb() noexcept { return stlb_; }
+  [[nodiscard]] Cache& l1() noexcept { return l1_; }
+  [[nodiscard]] Cache& l2() noexcept { return l2_; }
+  [[nodiscard]] Cache& l3() noexcept { return l3_; }
+  [[nodiscard]] LineFillBuffer& lfb() noexcept { return lfb_; }
+  [[nodiscard]] const MemConfig& config() const noexcept { return cfg_; }
+
+  /// Victim-side helper: move a value through the LFB as an in-flight line
+  /// (models the victim touching its secret right before the attack).
+  void victim_touch(std::uint64_t paddr, std::uint64_t value,
+                    std::size_t len);
+
+ private:
+  struct Translation {
+    Fault fault = Fault::None;
+    std::uint64_t paddr = 0;
+    bool tlb_hit = false;
+    bool tlb_filled = false;
+    int walks = 0;
+    int walk_cycles = 0;
+    int latency = 0;
+    WalkResult walk;
+  };
+
+  Translation translate(std::uint64_t vaddr, AccessType type, bool user_mode);
+  int cache_access(std::uint64_t paddr, AccessResult& out);
+  int jitter();
+  /// Paging-structure-cache hits for this vaddr (0..3 upper levels).
+  int psc_lookup_and_fill(std::uint64_t vaddr);
+
+  MemConfig cfg_;
+  const PageTable* pt_ = nullptr;
+  MemEventSink* sink_ = nullptr;
+
+  PhysicalMemory phys_;
+  Tlb dtlb_;
+  Tlb itlb_;
+  Tlb stlb_;
+  Cache l1_;
+  Cache l2_;
+  Cache l3_;
+  LineFillBuffer lfb_;
+  stats::Xoshiro256 rng_;
+
+  // Tiny paging-structure caches: most recent translations' upper levels.
+  static constexpr std::size_t kPscEntries = 4;
+  std::uint64_t psc_[kPscEntries] = {};
+  std::size_t psc_next_ = 0;
+  bool psc_valid_[kPscEntries] = {};
+};
+
+}  // namespace whisper::mem

@@ -1,0 +1,52 @@
+#include "mem/phys_mem.h"
+
+namespace whisper::mem {
+
+std::vector<std::uint8_t>& PhysicalMemory::frame(std::uint64_t paddr) {
+  auto& f = frames_[paddr / kFrameSize];
+  if (f.empty()) f.resize(kFrameSize, 0);
+  return f;
+}
+
+const std::vector<std::uint8_t>* PhysicalMemory::frame_if_present(
+    std::uint64_t paddr) const {
+  auto it = frames_.find(paddr / kFrameSize);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+std::uint8_t PhysicalMemory::read8(std::uint64_t paddr) const {
+  const auto* f = frame_if_present(paddr);
+  return f ? (*f)[paddr % kFrameSize] : 0;
+}
+
+std::uint64_t PhysicalMemory::read64(std::uint64_t paddr) const {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | read8(paddr + static_cast<std::uint64_t>(i));
+  return v;
+}
+
+void PhysicalMemory::write8(std::uint64_t paddr, std::uint8_t value) {
+  frame(paddr)[paddr % kFrameSize] = value;
+}
+
+void PhysicalMemory::write64(std::uint64_t paddr, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    write8(paddr + static_cast<std::uint64_t>(i),
+           static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void PhysicalMemory::write_bytes(std::uint64_t paddr, const std::uint8_t* data,
+                                 std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) write8(paddr + i, data[i]);
+}
+
+std::vector<std::uint8_t> PhysicalMemory::read_bytes(std::uint64_t paddr,
+                                                     std::size_t len) const {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = read8(paddr + i);
+  return out;
+}
+
+}  // namespace whisper::mem

@@ -1,0 +1,40 @@
+// Sparse byte-addressable physical memory.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace whisper::mem {
+
+/// Physical memory backed by lazily allocated 4 KiB frames. Reads of
+/// never-written frames return zero, as DRAM-after-scrub would.
+class PhysicalMemory {
+ public:
+  static constexpr std::uint64_t kFrameSize = 4096;
+
+  [[nodiscard]] std::uint8_t read8(std::uint64_t paddr) const;
+  [[nodiscard]] std::uint64_t read64(std::uint64_t paddr) const;
+  void write8(std::uint64_t paddr, std::uint8_t value);
+  void write64(std::uint64_t paddr, std::uint64_t value);
+
+  /// Bulk helpers for loading victim data / kernel images.
+  void write_bytes(std::uint64_t paddr, const std::uint8_t* data,
+                   std::size_t len);
+  [[nodiscard]] std::vector<std::uint8_t> read_bytes(std::uint64_t paddr,
+                                                     std::size_t len) const;
+
+  /// Number of frames that have been touched (for tests / accounting).
+  [[nodiscard]] std::size_t allocated_frames() const noexcept {
+    return frames_.size();
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t>& frame(std::uint64_t paddr);
+  [[nodiscard]] const std::vector<std::uint8_t>* frame_if_present(
+      std::uint64_t paddr) const;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> frames_;
+};
+
+}  // namespace whisper::mem

@@ -1,0 +1,92 @@
+#include "mem/tlb.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace whisper::mem {
+
+namespace {
+constexpr int shift_for(PageSize s) noexcept {
+  return s == PageSize::k4K ? 12 : 21;
+}
+}  // namespace
+
+Tlb::Tlb(std::size_t sets, std::size_t ways) : sets_(sets), ways_(ways) {
+  if (sets == 0 || !std::has_single_bit(sets))
+    throw std::invalid_argument("Tlb: sets must be a power of two");
+  if (ways == 0) throw std::invalid_argument("Tlb: ways must be >= 1");
+  ways_storage_.resize(sets_ * ways_);
+}
+
+Tlb::Way* Tlb::find(std::uint64_t vaddr) {
+  for (PageSize size : {PageSize::k4K, PageSize::k2M}) {
+    const std::uint64_t vpn = vaddr >> shift_for(size);
+    const std::size_t set = set_index(vpn);
+    for (std::size_t w = 0; w < ways_; ++w) {
+      Way& way = ways_storage_[set * ways_ + w];
+      if (way.valid && way.entry.size == size && way.entry.vpn == vpn)
+        return &way;
+    }
+  }
+  return nullptr;
+}
+
+const Tlb::Way* Tlb::find(std::uint64_t vaddr) const {
+  return const_cast<Tlb*>(this)->find(vaddr);
+}
+
+std::optional<TlbEntry> Tlb::lookup(std::uint64_t vaddr) {
+  if (Way* way = find(vaddr)) {
+    way->lru = ++tick_;
+    return way->entry;
+  }
+  return std::nullopt;
+}
+
+bool Tlb::contains(std::uint64_t vaddr) const { return find(vaddr) != nullptr; }
+
+void Tlb::insert(std::uint64_t vaddr, std::uint64_t paddr, PteFlags flags,
+                 PageSize size) {
+  const int shift = shift_for(size);
+  const std::uint64_t vpn = vaddr >> shift;
+  if (Way* way = find(vaddr)) {
+    way->entry = TlbEntry{vpn, paddr >> shift, flags, size, flags.global};
+    way->lru = ++tick_;
+    return;
+  }
+  const std::size_t set = set_index(vpn);
+  Way* victim = &ways_storage_[set * ways_];
+  for (std::size_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[set * ways_ + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  victim->valid = true;
+  victim->entry = TlbEntry{vpn, paddr >> shift, flags, size, flags.global};
+  victim->lru = ++tick_;
+}
+
+void Tlb::invalidate_page(std::uint64_t vaddr) {
+  while (Way* way = find(vaddr)) way->valid = false;
+}
+
+void Tlb::flush_all() {
+  for (Way& way : ways_storage_) way.valid = false;
+}
+
+void Tlb::flush_non_global() {
+  for (Way& way : ways_storage_)
+    if (way.valid && !way.entry.global) way.valid = false;
+}
+
+std::size_t Tlb::occupancy() const noexcept {
+  std::size_t n = 0;
+  for (const Way& way : ways_storage_)
+    if (way.valid) ++n;
+  return n;
+}
+
+}  // namespace whisper::mem

@@ -1,0 +1,185 @@
+#include "os/machine.h"
+
+namespace whisper::os {
+
+namespace {
+
+// Physical placement of the attacker process's pages.
+constexpr std::uint64_t kUserPhysBase = 0x40000000ull;  // 1 GiB
+
+}  // namespace
+
+Machine::Machine(const MachineOptions& opts)
+    : opts_(opts),
+      cfg_(opts.config ? *opts.config : uarch::make_config(opts.model)) {
+  if (opts.seed != 0) cfg_.seed = opts.seed;
+  cfg_.mem.seed = cfg_.seed;
+
+  mem_ = std::make_unique<mem::MemorySystem>(cfg_.mem);
+
+  KernelOptions kopts = opts.kernel;
+  if (kopts.seed == 0x4a51c0deULL) kopts.seed = cfg_.seed;
+  kernel_ = std::make_unique<KernelLayout>(mem_->phys(), kopts);
+  kernel_->install(kernel_view_, user_view_);
+
+  // Attacker process pages, user-accessible in both views.
+  const mem::PteFlags uflags{.present = true,
+                             .writable = true,
+                             .user = true,
+                             .global = false,
+                             .reserved = false,
+                             .no_exec = false};
+  struct Region {
+    std::uint64_t va, bytes, pa;
+  };
+  const Region regions[] = {
+      {kCodeBase, kCodeBytes, kUserPhysBase + 0x000000},
+      {kDataBase, kDataBytes, kUserPhysBase + 0x100000},
+      {kStackBase, kStackBytes, kUserPhysBase + 0x200000},
+      {kSharedBase, kSharedBytes, kUserPhysBase + 0x300000},
+      {kEvictBase, kEvictBytes, kUserPhysBase + 0x800000},
+  };
+  for (const Region& r : regions) {
+    kernel_view_.map(r.va, r.pa, r.bytes, uflags, mem::PageSize::k4K);
+    user_view_.map(r.va, r.pa, r.bytes, uflags, mem::PageSize::k4K);
+  }
+
+  mem_->set_page_table(&user_view_);
+  core_ = std::make_unique<uarch::Core>(cfg_, *mem_);
+}
+
+uarch::RunResult Machine::run_user(
+    const isa::Program& prog,
+    const std::array<std::uint64_t, isa::kNumRegs>& regs, int signal_handler,
+    std::uint64_t cycle_limit) {
+  mem_->set_page_table(&user_view_);
+  uarch::InitState init;
+  init.regs = regs;
+  init.regs[static_cast<std::size_t>(isa::Reg::RSP)] = kStackTop;
+  init.signal_handler = signal_handler;
+  init.user_mode = true;
+  init.code_base = kCodeBase;
+  return core_->run(prog, init, cycle_limit);
+}
+
+uarch::RunResult Machine::run_smt(
+    const isa::Program& p0,
+    const std::array<std::uint64_t, isa::kNumRegs>& r0,
+    const isa::Program& p1,
+    const std::array<std::uint64_t, isa::kNumRegs>& r1, int signal_handler0,
+    int signal_handler1, std::uint64_t cycle_limit) {
+  mem_->set_page_table(&user_view_);
+  uarch::InitState i0;
+  i0.regs = r0;
+  i0.regs[static_cast<std::size_t>(isa::Reg::RSP)] = kStackTop;
+  i0.signal_handler = signal_handler0;
+  i0.code_base = kCodeBase;
+  uarch::InitState i1;
+  i1.regs = r1;
+  // Give the sibling its own slice of the stack region.
+  i1.regs[static_cast<std::size_t>(isa::Reg::RSP)] = kStackTop - 0x4000;
+  i1.signal_handler = signal_handler1;
+  i1.code_base = kCodeBase;
+  return core_->run_smt(p0, i0, p1, i1, cycle_limit);
+}
+
+std::uint64_t Machine::peek64(std::uint64_t vaddr) const {
+  return mem_->debug_read64(vaddr);
+}
+std::uint8_t Machine::peek8(std::uint64_t vaddr) const {
+  return mem_->debug_read8(vaddr);
+}
+void Machine::poke64(std::uint64_t vaddr, std::uint64_t value) {
+  mem_->debug_write64(vaddr, value);
+}
+void Machine::poke8(std::uint64_t vaddr, std::uint8_t value) {
+  mem_->debug_write8(vaddr, value);
+}
+void Machine::poke_bytes(std::uint64_t vaddr,
+                         std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    mem_->debug_write8(vaddr + i, bytes[i]);
+}
+std::vector<std::uint8_t> Machine::peek_bytes(std::uint64_t vaddr,
+                                              std::size_t len) const {
+  std::vector<std::uint8_t> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = mem_->debug_read8(vaddr + i);
+  return out;
+}
+
+void Machine::evict_tlbs() {
+  mem_->flush_tlbs();
+  core_->advance(static_cast<std::uint64_t>(cfg_.tlb_eviction_cycles));
+}
+
+void Machine::evict_tlbs_via_access() {
+  // One page per STLB (set, way); LRU guarantees full displacement. Built
+  // lazily and cached — the program itself is the attack's eviction loop.
+  if (!evict_prog_) {
+    isa::ProgramBuilder b;
+    const auto pages = static_cast<std::int64_t>(
+        cfg_.mem.stlb_sets * cfg_.mem.stlb_ways * 2);
+    b.mov(isa::Reg::R14, static_cast<std::int64_t>(kEvictBase));
+    b.mov(isa::Reg::R12, 0);
+    b.label("loop");
+    b.load_byte(isa::Reg::R10, isa::Reg::R14);
+    b.add(isa::Reg::R14, 4096);
+    b.add(isa::Reg::R12, 1);
+    b.cmp(isa::Reg::R12, pages);
+    b.jcc(isa::Cond::NZ, "loop");
+    b.halt();
+    evict_prog_ = std::make_unique<isa::Program>(b.build());
+  }
+  (void)run_user(*evict_prog_, {}, -1, 5'000'000);
+  // The paging-structure caches survive access-based eviction only as far
+  // as the buffer displaces them; the buffer's own upper levels remain, so
+  // probes to far regions still walk fully.
+}
+
+void Machine::flush_caches() {
+  mem_->l1().flush_all();
+  mem_->l2().flush_all();
+  mem_->l3().flush_all();
+}
+
+void Machine::victim_touch(std::uint64_t value) {
+  // The victim moves its secret through a fill buffer right before the
+  // attacker samples; physical address is irrelevant to the sampling.
+  mem_->victim_touch(kUserPhysBase + 0x400000, value, 8);
+}
+
+std::uint64_t Machine::plant_kernel_secret(
+    std::span<const std::uint8_t> bytes) {
+  return kernel_->plant_secret(bytes);
+}
+
+uarch::RunResult Machine::run_kernel_victim(
+    const isa::Program& prog,
+    const std::array<std::uint64_t, isa::kNumRegs>& regs,
+    std::uint64_t cycle_limit) {
+  mem_->set_page_table(&kernel_view_);
+  uarch::InitState init;
+  init.regs = regs;
+  init.regs[static_cast<std::size_t>(isa::Reg::RSP)] = kStackTop - 0x8000;
+  init.user_mode = false;
+  init.code_base = kCodeBase;
+  uarch::RunResult r = core_->run(prog, init, cycle_limit);
+  mem_->set_page_table(&user_view_);
+  return r;
+}
+
+void Machine::simulate_syscall() {
+  // Entering the kernel through the trampoline warms its translation in the
+  // TLBs (kernel-mode access: always fills).
+  const std::uint64_t tramp = kernel_->trampoline_vaddr();
+  mem_->set_page_table(&user_view_);
+  mem::AccessRequest req;
+  req.vaddr = tramp;
+  req.type = mem::AccessType::Read;
+  req.user_mode = false;  // executing in the kernel
+  req.size = 8;
+  (void)mem_->access(req);
+  core_->advance(300);  // syscall round-trip cost
+}
+
+}  // namespace whisper::os

@@ -1,0 +1,63 @@
+#include "stats/error_rate.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace whisper::stats {
+
+ChannelReport evaluate_channel(std::span<const std::uint8_t> sent,
+                               std::span<const std::uint8_t> received,
+                               std::uint64_t sim_cycles, double ghz) {
+  ChannelReport r;
+  r.bytes = sent.size();
+  const std::size_t n = std::min(sent.size(), received.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t diff = sent[i] ^ received[i];
+    if (diff != 0) ++r.byte_errors;
+    r.bit_errors += static_cast<std::size_t>(std::popcount(diff));
+  }
+  // Bytes the receiver never produced count as fully wrong.
+  if (received.size() < sent.size()) {
+    const std::size_t missing = sent.size() - received.size();
+    r.byte_errors += missing;
+    r.bit_errors += missing * 8;
+  }
+  if (r.bytes > 0) {
+    r.byte_error_rate =
+        static_cast<double>(r.byte_errors) / static_cast<double>(r.bytes);
+    r.bit_error_rate =
+        static_cast<double>(r.bit_errors) / static_cast<double>(r.bytes * 8);
+  }
+  r.sim_cycles = sim_cycles;
+  if (ghz > 0.0) {
+    r.seconds = static_cast<double>(sim_cycles) / (ghz * 1e9);
+    if (r.seconds > 0.0)
+      r.bytes_per_second = static_cast<double>(r.bytes) / r.seconds;
+  }
+  return r;
+}
+
+std::string format_rate(double bps) {
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed;
+  if (bps >= 1e6)
+    out << bps / 1e6 << " MB/s";
+  else if (bps >= 1e3)
+    out << bps / 1e3 << " KB/s";
+  else
+    out << bps << " B/s";
+  return out.str();
+}
+
+std::string ChannelReport::to_string() const {
+  std::ostringstream out;
+  out.precision(2);
+  out << std::fixed << bytes << " bytes, " << byte_errors << " byte errors ("
+      << byte_error_rate * 100.0 << "%), " << format_rate(bytes_per_second)
+      << " over " << seconds << " s (sim)";
+  return out.str();
+}
+
+}  // namespace whisper::stats

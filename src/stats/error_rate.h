@@ -1,0 +1,37 @@
+// Error-rate and throughput accounting for covert channels and attacks.
+//
+// The paper reports byte throughput plus an error rate over 1k random bytes
+// (section 4.1); these helpers compute the same quantities from a
+// transmitted/received pair and the simulated cycle cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace whisper::stats {
+
+struct ChannelReport {
+  std::size_t bytes = 0;
+  std::size_t byte_errors = 0;
+  std::size_t bit_errors = 0;
+  double byte_error_rate = 0.0;  // fraction of bytes wrong
+  double bit_error_rate = 0.0;   // fraction of bits wrong
+  std::uint64_t sim_cycles = 0;
+  double seconds = 0.0;             // sim_cycles / (ghz * 1e9)
+  double bytes_per_second = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compare sent vs. received and fold in the simulated time cost.
+/// `ghz` is the model's nominal core frequency used to map cycles → seconds.
+[[nodiscard]] ChannelReport evaluate_channel(std::span<const std::uint8_t> sent,
+                                             std::span<const std::uint8_t> received,
+                                             std::uint64_t sim_cycles,
+                                             double ghz);
+
+/// Human-friendly rate formatting: "500.0 B/s", "21.5 KB/s", "1.2 MB/s".
+[[nodiscard]] std::string format_rate(double bytes_per_second);
+
+}  // namespace whisper::stats

@@ -1,0 +1,112 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace whisper::stats {
+
+void Histogram::add(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  counts_[value] += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [v, c] : other.counts_) add(v, c);
+}
+
+void Histogram::clear() {
+  counts_.clear();
+  total_ = 0;
+}
+
+std::uint64_t Histogram::count(std::int64_t value) const {
+  auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::int64_t Histogram::min() const {
+  if (empty()) throw std::logic_error("Histogram::min on empty histogram");
+  return counts_.begin()->first;
+}
+
+std::int64_t Histogram::max() const {
+  if (empty()) throw std::logic_error("Histogram::max on empty histogram");
+  return counts_.rbegin()->first;
+}
+
+std::int64_t Histogram::mode() const {
+  if (empty()) throw std::logic_error("Histogram::mode on empty histogram");
+  std::int64_t best_v = counts_.begin()->first;
+  std::uint64_t best_c = 0;
+  for (const auto& [v, c] : counts_) {
+    if (c > best_c) {
+      best_c = c;
+      best_v = v;
+    }
+  }
+  return best_v;
+}
+
+double Histogram::mean() const {
+  if (empty()) throw std::logic_error("Histogram::mean on empty histogram");
+  double acc = 0.0;
+  for (const auto& [v, c] : counts_)
+    acc += static_cast<double>(v) * static_cast<double>(c);
+  return acc / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (empty())
+    throw std::logic_error("Histogram::percentile on empty histogram");
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (const auto& [v, c] : counts_) {
+    seen += c;
+    if (seen >= target) return v;
+  }
+  return counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>> Histogram::buckets()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string Histogram::ascii(int rows, int width) const {
+  std::ostringstream out;
+  if (empty()) {
+    out << "(empty histogram)\n";
+    return out.str();
+  }
+  rows = std::max(rows, 1);
+  width = std::max(width, 1);
+  const std::int64_t lo = min();
+  const std::int64_t hi = max();
+  const std::int64_t span = hi - lo + 1;
+  const std::int64_t step = (span + rows - 1) / rows;
+
+  std::vector<std::uint64_t> binned(static_cast<std::size_t>(rows), 0);
+  for (const auto& [v, c] : counts_) {
+    auto idx = static_cast<std::size_t>((v - lo) / step);
+    idx = std::min(idx, binned.size() - 1);
+    binned[idx] += c;
+  }
+  const std::uint64_t peak = *std::max_element(binned.begin(), binned.end());
+  for (int r = 0; r < rows; ++r) {
+    const std::int64_t b0 = lo + r * step;
+    const std::int64_t b1 = std::min<std::int64_t>(b0 + step - 1, hi);
+    const auto bar = static_cast<int>(
+        (binned[static_cast<std::size_t>(r)] * static_cast<std::uint64_t>(width)) /
+        std::max<std::uint64_t>(peak, 1));
+    out << '[' << b0 << ".." << b1 << "]\t" << std::string(bar, '#') << ' '
+        << binned[static_cast<std::size_t>(r)] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace whisper::stats

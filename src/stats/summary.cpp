@@ -1,0 +1,66 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace whisper::stats {
+
+namespace {
+
+Summary summarize_sorted(std::vector<double> v) {
+  Summary s;
+  s.n = v.size();
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  s.min = v.front();
+  s.max = v.back();
+  s.median = (v.size() % 2 == 1)
+                 ? v[v.size() / 2]
+                 : 0.5 * (v[v.size() / 2 - 1] + v[v.size() / 2]);
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  s.mean = acc / static_cast<double>(v.size());
+  if (v.size() > 1) {
+    double ss = 0.0;
+    for (double x : v) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.stdev = std::sqrt(ss / static_cast<double>(v.size() - 1));
+  }
+  return s;
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> xs) {
+  return summarize_sorted({xs.begin(), xs.end()});
+}
+
+Summary summarize(std::span<const std::int64_t> xs) {
+  std::vector<double> v;
+  v.reserve(xs.size());
+  for (auto x : xs) v.push_back(static_cast<double>(x));
+  return summarize_sorted(std::move(v));
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stdev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace whisper::stats

@@ -1,0 +1,44 @@
+// Summary statistics over numeric samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace whisper::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stdev = 0.0;   // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Compute summary statistics; returns a zeroed Summary for empty input.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+[[nodiscard]] Summary summarize(std::span<const std::int64_t> xs);
+
+/// Welford online accumulator, for long-running collection without storing
+/// every sample.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample variance
+  [[nodiscard]] double stdev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace whisper::stats

@@ -1,0 +1,77 @@
+#include "uarch/branch_predictor.h"
+
+namespace whisper::uarch {
+
+BranchPredictor::BranchPredictor(const CpuConfig& cfg) : cfg_(cfg) {
+  pht_.assign(std::size_t{1} << cfg_.pht_index_bits, 1);  // weakly not-taken
+  btb_.assign(static_cast<std::size_t>(cfg_.btb_entries), -1);
+  rsb_.assign(static_cast<std::size_t>(cfg_.rsb_entries), -1);
+}
+
+void BranchPredictor::reset() {
+  pht_.assign(pht_.size(), 1);
+  btb_.assign(btb_.size(), -1);
+  rsb_.assign(rsb_.size(), -1);
+  ghist_ = 0;
+  rsb_top_ = 0;
+  rsb_valid_ = 0;
+}
+
+std::size_t BranchPredictor::pht_index(std::int32_t pc) const noexcept {
+  const std::uint64_t mask = pht_.size() - 1;
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(pc) ^ ghist_) & mask);
+}
+
+BranchPrediction BranchPredictor::predict_cond(std::int32_t pc,
+                                               std::int32_t target) {
+  BranchPrediction p;
+  p.taken = pht_[pht_index(pc)] >= 2;
+  p.target = target;
+  return p;
+}
+
+void BranchPredictor::update_cond(std::int32_t pc, bool taken) {
+  std::uint8_t& ctr = pht_[pht_index(pc)];
+  if (taken) {
+    if (ctr < 3) ++ctr;
+  } else {
+    if (ctr > 0) --ctr;
+  }
+  ghist_ = (ghist_ << 1) | (taken ? 1u : 0u);
+}
+
+void BranchPredictor::rsb_push(std::int32_t return_pc) {
+  rsb_[static_cast<std::size_t>(rsb_top_)] = return_pc;
+  rsb_top_ = (rsb_top_ + 1) % cfg_.rsb_entries;
+  if (rsb_valid_ < cfg_.rsb_entries) ++rsb_valid_;
+}
+
+BranchPrediction BranchPredictor::predict_ret() {
+  BranchPrediction p;
+  p.from_rsb = true;
+  if (!cfg_.rsb_speculates || rsb_valid_ == 0) {
+    p.taken = false;  // no prediction: front end stalls until resolution
+    p.target = -1;
+    return p;
+  }
+  rsb_top_ = (rsb_top_ + cfg_.rsb_entries - 1) % cfg_.rsb_entries;
+  --rsb_valid_;
+  p.taken = true;
+  p.target = rsb_[static_cast<std::size_t>(rsb_top_)];
+  return p;
+}
+
+void BranchPredictor::btb_record(std::int32_t pc, std::int32_t target) {
+  const auto idx = static_cast<std::size_t>(pc) % btb_.size();
+  btb_[idx] = (static_cast<std::int64_t>(pc) << 24) |
+              (static_cast<std::int64_t>(target) & 0xffffff);
+}
+
+bool BranchPredictor::btb_hit(std::int32_t pc, std::int32_t target) const {
+  const auto idx = static_cast<std::size_t>(pc) % btb_.size();
+  return btb_[idx] == ((static_cast<std::int64_t>(pc) << 24) |
+                       (static_cast<std::int64_t>(target) & 0xffffff));
+}
+
+}  // namespace whisper::uarch

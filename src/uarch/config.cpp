@@ -1,0 +1,128 @@
+#include "uarch/config.h"
+
+namespace whisper::uarch {
+
+namespace {
+
+CpuConfig intel_base() {
+  CpuConfig c;
+  c.vendor = Vendor::Intel;
+  return c;
+}
+
+}  // namespace
+
+CpuConfig make_config(CpuModel model) {
+  switch (model) {
+    case CpuModel::SkylakeI7_6700: {
+      CpuConfig c = intel_base();
+      c.model = model;
+      c.name = "Intel Core i7-6700";
+      c.uarch_name = "Skylake";
+      c.microcode = "0xf0";
+      c.kernel = "4.15.0-213";
+      c.ghz = 3.4;
+      c.rob_size = 224;
+      c.rs_size = 97;
+      // Pre-fix part: Meltdown and MDS forwarding both live.
+      c.mem.meltdown_forwards_data = true;
+      c.mem.lfb_forwards_stale = true;
+      c.mem.tlb_fill_on_permission_fault = true;
+      c.mem.not_present_replays = 2;
+      c.seed = 0x6700;
+      return c;
+    }
+    case CpuModel::KabyLakeI7_7700: {
+      CpuConfig c = intel_base();
+      c.model = model;
+      c.name = "Intel Core i7-7700";
+      c.uarch_name = "Kaby Lake";
+      c.microcode = "0x5e";
+      c.kernel = "5.4.0-150";
+      c.ghz = 3.6;
+      c.mem.meltdown_forwards_data = true;
+      c.mem.lfb_forwards_stale = true;
+      c.mem.tlb_fill_on_permission_fault = true;
+      c.mem.not_present_replays = 2;
+      c.seed = 0x7700;
+      return c;
+    }
+    case CpuModel::CometLakeI9_10980XE: {
+      CpuConfig c = intel_base();
+      c.model = model;
+      c.name = "Intel Core i9-10980XE";
+      c.uarch_name = "Comet Lake";
+      c.microcode = "0x5003303";
+      c.kernel = "5.15.0-72";
+      c.ghz = 3.0;
+      c.rob_size = 224;
+      // Silicon + microcode fixes: the data path no longer forwards across a
+      // permission fault, and the LFB never forwards stale data. The TLB
+      // fill-on-fault behaviour is unchanged — hence TET-KASLR still works.
+      c.mem.meltdown_forwards_data = false;
+      c.mem.lfb_forwards_stale = false;
+      c.mem.tlb_fill_on_permission_fault = true;
+      c.mem.not_present_replays = 2;
+      c.seed = 0x1098;
+      return c;
+    }
+    case CpuModel::RaptorLakeI9_13900K: {
+      CpuConfig c = intel_base();
+      c.model = model;
+      c.name = "Intel Core i9-13900K";
+      c.uarch_name = "Raptor Lake";
+      c.microcode = "0x119";
+      c.kernel = "5.15.0-86";
+      c.ghz = 3.0;
+      c.rob_size = 512;
+      c.rs_size = 200;
+      c.alloc_width = 6;
+      c.retire_width = 8;
+      c.fetch_width_dsb = 8;
+      c.mem.meltdown_forwards_data = false;
+      c.mem.lfb_forwards_stale = false;
+      c.mem.tlb_fill_on_permission_fault = true;
+      c.mem.not_present_replays = 2;
+      // Still speculates returns through the RSB: TET-RSB ✓ in Table 2.
+      c.rsb_speculates = true;
+      c.has_tsx = false;  // TSX fused off on Raptor Lake
+      c.seed = 0x13900;
+      return c;
+    }
+    case CpuModel::Zen3Ryzen5_5600G: {
+      CpuConfig c;
+      c.model = model;
+      c.vendor = Vendor::Amd;
+      c.name = "AMD Ryzen 5 5600G";
+      c.uarch_name = "Zen 3";
+      c.microcode = "0xA50000D";
+      c.kernel = "5.15.0-76";
+      c.ghz = 3.9;
+      c.rob_size = 256;
+      c.rs_size = 96;
+      c.mem.meltdown_forwards_data = false;
+      c.mem.lfb_forwards_stale = false;
+      // AMD installs TLB entries only after the permission check passes, and
+      // does not replay the walk for non-present pages — the mapped/unmapped
+      // timing signal vanishes, so TET-KASLR fails (Table 2 ✗).
+      c.mem.tlb_fill_on_permission_fault = false;
+      c.mem.not_present_replays = 1;
+      c.has_tsx = false;  // no TSX on AMD
+      c.seed = 0x5600;
+      return c;
+    }
+  }
+  return intel_base();
+}
+
+std::vector<CpuModel> all_models() {
+  return {CpuModel::SkylakeI7_6700, CpuModel::KabyLakeI7_7700,
+          CpuModel::CometLakeI9_10980XE, CpuModel::RaptorLakeI9_13900K,
+          CpuModel::Zen3Ryzen5_5600G};
+}
+
+std::string to_string(CpuModel model) {
+  return make_config(model).name;
+}
+
+}  // namespace whisper::uarch

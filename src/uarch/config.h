@@ -1,0 +1,121 @@
+// CPU model configuration.
+//
+// One CpuConfig instance fully determines the pipeline model: widths,
+// penalties, predictor sizes, memory geometry, and — critically for Table 2 —
+// the per-model vulnerability policy flags. Factory functions provide the
+// five machines of the paper's evaluation (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.h"
+
+namespace whisper::uarch {
+
+enum class CpuModel : std::uint8_t {
+  SkylakeI7_6700,      // Intel Core i7-6700, microcode 0xf0
+  KabyLakeI7_7700,     // Intel Core i7-7700, microcode 0x5e
+  CometLakeI9_10980XE, // Intel Core i9-10980XE, microcode 0x5003303
+  RaptorLakeI9_13900K, // Intel Core i9-13900K, microcode 0x119
+  Zen3Ryzen5_5600G,    // AMD Ryzen 5 5600G, microcode 0xA50000D
+};
+
+enum class Vendor : std::uint8_t { Intel, Amd };
+
+/// How a transient window terminates relative to a transient branch
+/// misprediction — the sign of the Whisper timing delta (DESIGN.md §1.1-1.2).
+/// Exception windows drain the resteer into the machine clear (longer ToTE);
+/// assist/RSB windows squash early (shorter ToTE).
+struct CpuConfig {
+  CpuModel model = CpuModel::KabyLakeI7_7700;
+  Vendor vendor = Vendor::Intel;
+  std::string name = "Intel Core i7-7700";
+  std::string uarch_name = "Kaby Lake";
+  std::string microcode = "0x5e";
+  std::string kernel = "5.4.0-150";
+  double ghz = 3.6;
+
+  // Pipeline widths and buffer sizes.
+  int fetch_width_dsb = 6;   // µops/cycle from the µop cache
+  int fetch_width_mite = 4;  // µops/cycle through legacy decode
+  int alloc_width = 4;       // µops/cycle rename/allocate
+  int issue_width = 8;       // µops/cycle to execution ports
+  int retire_width = 4;      // instructions/cycle retired
+  int rob_size = 224;
+  int rs_size = 97;
+  int idq_size = 64;
+
+  // Port capacity per cycle by µop class.
+  int load_ports = 2;
+  int store_ports = 1;
+  int branch_ports = 2;
+
+  // Control-flow penalties (cycles).
+  int resteer_cycles = 12;       // frontend bubble after a mispredict resteer
+  int recovery_extra_cycles = 6; // allocation stall while the RAT recovers
+  int machine_clear_cycles = 36; // pipeline flush when a fault retires
+  int tsx_abort_cycles = 45;     // extra cost of a transaction abort
+  int signal_dispatch_cycles = 3000;  // kernel #PF + signal delivery + return
+  int mite_decode_latency = 4;   // bubble when refetching via MITE (DSB cold)
+  int forward_latency = 6;       // faulting load: cycles until data forwards
+
+  // Whisper deltas.
+  // Exception-terminated window: extra machine-clear drain when a transient
+  // branch mispredicted inside the window (TET-MD/CC: trigger => longer).
+  int transient_resteer_clear_penalty = 10;
+  // Assist/RSB windows: a dependent transient mispredict initiates the squash
+  // early (TET-ZBL/RSB: trigger => shorter).
+  bool early_clear_on_transient_mispredict = true;
+  int early_ret_resolve_cycles = 3;
+
+  // Branch prediction.
+  int pht_index_bits = 12;
+  int btb_entries = 4096;
+  int rsb_entries = 16;
+  bool rsb_speculates = true;  // RSB drives ret prediction (Spectre-RSB)
+
+  /// AVX-unit power gating (the AVX-timing side channel's substrate,
+  /// §2.1/§6.1): a cold 256-bit op pays the power-up latency; the unit
+  /// stays warm for a window afterwards. Executing an AVX op *transiently*
+  /// still powers the unit up — a persistent side effect, like a cache
+  /// fill. Setting `avx_power_gating=false` models the "replace AVX
+  /// instructions" mitigation the paper says does NOT stop TET.
+  bool avx_power_gating = true;
+  int avx_power_up_cycles = 150;
+  int avx_warm_cycles = 4096;
+
+  /// TSX available for exception suppression (`transient_begin` can use a
+  /// transaction instead of a signal handler — much cheaper per probe).
+  bool has_tsx = true;
+
+  bool smt = true;
+
+  // Attacker-side OS overheads charged to simulated time (cycles).
+  int tlb_eviction_cycles = 1500;   // evicting the TLBs via a large buffer
+  int channel_sync_cycles = 360000;  // cross-process rendezvous (~100 us)
+
+  mem::MemConfig mem;
+  std::uint64_t seed = 0x715b5eedULL;
+
+  [[nodiscard]] bool meltdown_vulnerable() const noexcept {
+    return mem.meltdown_forwards_data;
+  }
+  [[nodiscard]] bool mds_vulnerable() const noexcept {
+    return mem.lfb_forwards_stale;
+  }
+  [[nodiscard]] bool tlb_fills_on_fault() const noexcept {
+    return mem.tlb_fill_on_permission_fault;
+  }
+};
+
+/// Factory for the five machines of Table 2.
+[[nodiscard]] CpuConfig make_config(CpuModel model);
+
+/// All models, in Table 2 order.
+[[nodiscard]] std::vector<CpuModel> all_models();
+
+[[nodiscard]] std::string to_string(CpuModel model);
+
+}  // namespace whisper::uarch

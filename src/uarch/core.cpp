@@ -1,0 +1,1147 @@
+#include "uarch/core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace whisper::uarch {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+
+/// First source register read by an instruction (Reg::None if none).
+Reg reg_a(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::MovRR: return in.src;
+    case Opcode::AvxOp: return in.src;  // optional data dependency
+    case Opcode::Load:
+    case Opcode::LoadByte:
+    case Opcode::Store:
+    case Opcode::StoreByte:
+    case Opcode::Clflush:
+    case Opcode::Prefetch:
+      return in.base;
+    case Opcode::AddRI: case Opcode::SubRI: case Opcode::AndRI:
+    case Opcode::OrRI: case Opcode::ShlRI: case Opcode::ShrRI:
+    case Opcode::CmpRI:
+    case Opcode::AddRR: case Opcode::SubRR: case Opcode::XorRR:
+    case Opcode::CmpRR: case Opcode::TestRR:
+    case Opcode::ImulRR: case Opcode::Neg: case Opcode::Not:
+    case Opcode::Cmov:
+      return in.dst;
+    case Opcode::Lea:
+      return in.base;
+    case Opcode::Call:
+    case Opcode::Ret:
+      return Reg::RSP;
+    default:
+      return Reg::None;
+  }
+}
+
+/// Second source register (Reg::None if none).
+Reg reg_b(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::Store:
+    case Opcode::StoreByte:
+      return in.src;
+    case Opcode::AddRR: case Opcode::SubRR: case Opcode::XorRR:
+    case Opcode::CmpRR: case Opcode::TestRR:
+    case Opcode::ImulRR: case Opcode::Cmov:
+      return in.src;
+    default:
+      return Reg::None;
+  }
+}
+
+/// Register architecturally written (Reg::None if none).
+Reg reg_written(const Instruction& in) {
+  switch (in.op) {
+    case Opcode::MovRI: case Opcode::MovRR:
+    case Opcode::Load: case Opcode::LoadByte:
+    case Opcode::AddRI: case Opcode::AddRR:
+    case Opcode::SubRI: case Opcode::SubRR:
+    case Opcode::AndRI: case Opcode::OrRI: case Opcode::XorRR:
+    case Opcode::ShlRI: case Opcode::ShrRI:
+    case Opcode::ImulRR: case Opcode::Neg: case Opcode::Not:
+    case Opcode::Lea: case Opcode::Cmov:
+    case Opcode::Rdtsc: case Opcode::Rdtscp:
+      return in.dst;
+    case Opcode::Call:
+    case Opcode::Ret:
+      return Reg::RSP;  // stack pointer adjustment
+    default:
+      return Reg::None;
+  }
+}
+
+isa::Flags alu_flags(std::uint64_t result, bool carry, bool overflow) {
+  isa::Flags f;
+  f.zf = result == 0;
+  f.sf = (result >> 63) & 1;
+  f.cf = carry;
+  f.of = overflow;
+  return f;
+}
+
+constexpr std::int32_t kInstrBlock = 8;  // instructions per DSB/fetch block
+
+}  // namespace
+
+Core::Core(const CpuConfig& cfg, mem::MemorySystem& mem)
+    : cfg_(cfg), mem_(mem), pmu_(cfg.vendor), bpu_(cfg),
+      rng_(cfg.seed ^ 0xc04e5eedULL) {
+  mem_.set_event_sink(&pmu_);
+}
+
+RunResult Core::run(const isa::Program& prog, const InitState& init,
+                    std::uint64_t cycle_limit) {
+  nthreads_ = 1;
+  ctx_[0] = ThreadCtx{};
+  ctx_[0].active = true;
+  ctx_[0].prog = &prog;
+  ctx_[0].regs = init.regs;
+  ctx_[0].flags = init.flags;
+  ctx_[0].user_mode = init.user_mode;
+  ctx_[0].signal_handler = init.signal_handler;
+  ctx_[0].code_base = init.code_base;
+  if (last_prog_[0] == &prog) ctx_[0].dsb_blocks = std::move(persistent_dsb_[0]);
+  ctx_[1] = ThreadCtx{};
+  RunResult r = run_internal(cycle_limit);
+  last_prog_[0] = &prog;
+  persistent_dsb_[0] = std::move(ctx_[0].dsb_blocks);
+  last_prog_[1] = nullptr;
+  return r;
+}
+
+RunResult Core::run_smt(const isa::Program& p0, const InitState& i0,
+                        const isa::Program& p1, const InitState& i1,
+                        std::uint64_t cycle_limit) {
+  nthreads_ = 2;
+  for (int t = 0; t < 2; ++t) {
+    const isa::Program& p = t == 0 ? p0 : p1;
+    const InitState& init = t == 0 ? i0 : i1;
+    ctx_[t] = ThreadCtx{};
+    ctx_[t].active = true;
+    ctx_[t].prog = &p;
+    ctx_[t].regs = init.regs;
+    ctx_[t].flags = init.flags;
+    ctx_[t].user_mode = init.user_mode;
+    ctx_[t].signal_handler = init.signal_handler;
+    ctx_[t].code_base = init.code_base;
+    if (last_prog_[t] == &p) ctx_[t].dsb_blocks = std::move(persistent_dsb_[t]);
+  }
+  RunResult r = run_internal(cycle_limit);
+  for (int t = 0; t < 2; ++t) {
+    last_prog_[t] = t == 0 ? &p0 : &p1;
+    persistent_dsb_[t] = std::move(ctx_[t].dsb_blocks);
+  }
+  return r;
+}
+
+RunResult Core::run_internal(std::uint64_t cycle_limit) {
+  RunResult result;
+  result.start_cycle = cycle_;
+  const std::uint64_t deadline = cycle_ + cycle_limit;
+
+  auto all_done = [&] {
+    for (int t = 0; t < nthreads_; ++t)
+      if (ctx_[t].active && !ctx_[t].halted) return false;
+    return true;
+  };
+
+  while (!all_done()) {
+    if (cycle_ >= deadline) {
+      result.cycle_limit_hit = true;
+      break;
+    }
+    issued_uops_this_cycle_ = 0;
+    alloc_uops_this_cycle_ = 0;
+
+    step_complete();
+    for (int t = 0; t < nthreads_; ++t)
+      if (ctx_[t].active && !ctx_[t].halted) step_retire(t);
+    step_issue();
+    // Allocation and fetch bandwidth alternates between SMT siblings.
+    const int turn = nthreads_ > 1 ? static_cast<int>(cycle_ % 2) : 0;
+    if (ctx_[turn].active && !ctx_[turn].halted) {
+      step_alloc(turn);
+      step_fetch(turn);
+    }
+    per_cycle_pmu();
+    ++cycle_;
+  }
+
+  result.end_cycle = cycle_;
+  for (int t = 0; t < 2; ++t) {
+    ThreadResult& tr = result.thread[static_cast<std::size_t>(t)];
+    tr.halted = ctx_[t].halted;
+    tr.killed_by_fault = ctx_[t].killed;
+    tr.instructions_retired = ctx_[t].retired;
+    tr.tsc = ctx_[t].tsc_out;
+    tr.regs = ctx_[t].regs;
+  }
+  return result;
+}
+
+void Core::trace(int thread, TraceEvent event, const RobEntry* e,
+                 std::uint64_t count) {
+  if (!trace_) return;
+  TraceRecord r;
+  r.cycle = cycle_;
+  r.thread = thread;
+  r.event = event;
+  if (e) {
+    r.seq = e->seq;
+    r.pc = e->pc;
+    r.op = e->inst.op;
+  } else {
+    r.seq = count;
+  }
+  trace_->record(r);
+}
+
+// ---------------------------------------------------------------------------
+// Front end
+// ---------------------------------------------------------------------------
+
+void Core::step_fetch(int t) {
+  ThreadCtx& ctx = ctx_[t];
+  if (ctx.fetch_halted) return;
+  if (cycle_ < std::max(ctx.frontend_ready_at, shared_frontend_busy_until_))
+    return;
+
+  const auto& code = ctx.prog->code();
+  if (ctx.fetch_pc < 0 ||
+      static_cast<std::size_t>(ctx.fetch_pc) >= code.size()) {
+    ctx.fetch_halted = true;  // ran off the end
+    return;
+  }
+
+  // Decide the delivery path for this cycle from the first block fetched.
+  const std::int32_t first_block = ctx.fetch_pc / kInstrBlock;
+  // After a resteer the pipeline restarts through the legacy decoder for a
+  // couple of fetch groups even if the target lines are DSB-resident —
+  // the Fig. 3 DSB->MITE shift.
+  const bool dsb_cycle =
+      ctx.force_mite == 0 && ctx.dsb_blocks.contains(first_block);
+  if (!dsb_cycle && ctx.pending_mite_bubble) {
+    // Switching to the legacy decoder costs a fetch bubble; the paper's
+    // trigger path pays this after the transient resteer (Fig. 3).
+    ctx.pending_mite_bubble = false;
+    ctx.frontend_ready_at = cycle_ + cfg_.mite_decode_latency;
+    pmu_.inc(PmuEvent::ICACHE_16B_IFDATA_STALL,
+             static_cast<std::uint64_t>(cfg_.mite_decode_latency));
+    return;
+  }
+
+  const int width = dsb_cycle ? cfg_.fetch_width_dsb : cfg_.fetch_width_mite;
+  int budget = width;
+  int dsb_uops = 0, mite_uops = 0;
+  bool ms_dsb = false;
+
+  while (budget > 0) {
+    if (ctx.fetch_pc < 0 ||
+        static_cast<std::size_t>(ctx.fetch_pc) >= code.size()) {
+      ctx.fetch_halted = true;
+      break;
+    }
+    if (ctx.idq.size() >= static_cast<std::size_t>(cfg_.idq_size)) break;
+    const std::int32_t block = ctx.fetch_pc / kInstrBlock;
+    const bool in_dsb =
+        ctx.force_mite == 0 && ctx.dsb_blocks.contains(block);
+    if (in_dsb != dsb_cycle) break;  // path switch: next cycle
+    const Instruction& inst = code[static_cast<std::size_t>(ctx.fetch_pc)];
+    const int uops = inst.uops();
+    if (uops > budget) break;
+
+    IdqEntry fe;
+    fe.pc = ctx.fetch_pc;
+    fe.inst = inst;
+    fe.uops = uops;
+    fe.from_dsb = in_dsb;
+    if (!in_dsb) ctx.dsb_blocks.insert(block);  // decoded lines fill the DSB
+
+    if (in_dsb) {
+      dsb_uops += uops;
+      if (uops > 1) {
+        ms_dsb = true;
+        // Microcode-sequencer uops tracked on the DSB path; a resteer that
+        // diverts delivery to MITE lowers this count (Table 3: MS_UOPS
+        // drops on trigger while MS_MITE_UOPS rises).
+        pmu_.inc(PmuEvent::IDQ_MS_UOPS, static_cast<std::uint64_t>(uops));
+      }
+    } else {
+      mite_uops += uops;
+    }
+
+    bool taken = false;
+    switch (inst.op) {
+      case Opcode::Jcc: {
+        BranchPrediction p = bpu_.predict_cond(fe.pc, inst.target);
+        fe.predicted_taken = p.taken;
+        fe.predicted_target = inst.target;
+        if (p.taken) {
+          ctx.fetch_pc = inst.target;
+          taken = true;
+        } else {
+          ++ctx.fetch_pc;
+        }
+        break;
+      }
+      case Opcode::Jmp:
+        fe.predicted_taken = true;
+        fe.predicted_target = inst.target;
+        ctx.fetch_pc = inst.target;
+        taken = true;
+        break;
+      case Opcode::Call:
+        bpu_.rsb_push(fe.pc + 1);
+        fe.predicted_taken = true;
+        fe.predicted_target = inst.target;
+        ctx.fetch_pc = inst.target;
+        taken = true;
+        break;
+      case Opcode::Ret: {
+        BranchPrediction p = bpu_.predict_ret();
+        fe.pred_from_rsb = true;
+        fe.predicted_taken = p.taken;
+        fe.predicted_target = p.target;
+        if (p.target >= 0) {
+          ctx.fetch_pc = p.target;
+          taken = true;
+        } else {
+          // No RSB prediction: the front end stalls until resolution.
+          ctx.fetch_halted = true;
+        }
+        break;
+      }
+      case Opcode::Halt:
+        ctx.fetch_halted = true;
+        break;
+      default:
+        ++ctx.fetch_pc;
+        break;
+    }
+
+    budget -= uops;
+    ctx.idq.push_back(std::move(fe));
+    if (taken || ctx.fetch_halted) break;  // one taken branch per cycle
+  }
+
+  // Front-end delivery PMU accounting.
+  if (dsb_uops > 0) {
+    pmu_.inc(PmuEvent::IDQ_DSB_UOPS, static_cast<std::uint64_t>(dsb_uops));
+    pmu_.inc(PmuEvent::IDQ_DSB_CYCLES_ANY);
+    if (dsb_uops >= cfg_.fetch_width_dsb)
+      pmu_.inc(PmuEvent::IDQ_DSB_CYCLES_OK);
+    if (ms_dsb) pmu_.inc(PmuEvent::IDQ_MS_DSB_CYCLES);
+  }
+  if (mite_uops > 0) {
+    pmu_.inc(PmuEvent::IDQ_MS_MITE_UOPS,
+             static_cast<std::uint64_t>(mite_uops));
+    pmu_.inc(PmuEvent::IDQ_ALL_MITE_CYCLES_ANY_UOPS);
+    // Falling back to MITE means the next DSB fetch pays the switch bubble.
+    ctx.pending_mite_bubble = false;
+    if (ctx.force_mite > 0) --ctx.force_mite;
+  }
+  if (cfg_.vendor == Vendor::Amd && (dsb_uops > 0 || mite_uops > 0)) {
+    pmu_.inc(PmuEvent::IC_FW32);
+    pmu_.inc(PmuEvent::BP_L1_TLB_FETCH_HIT);
+    pmu_.inc(PmuEvent::BP_L1_BTB_CORRECT);  // next-line prediction
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation (rename)
+// ---------------------------------------------------------------------------
+
+void Core::step_alloc(int t) {
+  ThreadCtx& ctx = ctx_[t];
+  if (cycle_ < ctx.alloc_stall_until) {
+    if (!ctx.idq.empty()) {
+      pmu_.inc(PmuEvent::RESOURCE_STALLS_ANY);
+      if (cfg_.vendor == Vendor::Amd)
+        pmu_.inc(
+            PmuEvent::DE_DIS_DISPATCH_TOKEN_STALLS2_RETIRE_TOKEN_STALL);
+    }
+    return;
+  }
+
+  int budget = cfg_.alloc_width;
+  int waiting = 0;
+  for (const RobEntry& e : ctx.rob)
+    if (e.state == EntryState::Waiting) ++waiting;
+
+  while (!ctx.idq.empty() && budget >= ctx.idq.front().uops) {
+    if (ctx.rob.size() >= static_cast<std::size_t>(cfg_.rob_size) ||
+        waiting >= cfg_.rs_size) {
+      pmu_.inc(PmuEvent::RESOURCE_STALLS_ANY);
+      if (cfg_.vendor == Vendor::Amd)
+        pmu_.inc(
+            PmuEvent::DE_DIS_DISPATCH_TOKEN_STALLS2_RETIRE_TOKEN_STALL);
+      break;
+    }
+    IdqEntry fe = std::move(ctx.idq.front());
+    ctx.idq.pop_front();
+
+    RobEntry e;
+    e.seq = ctx.next_seq++;
+    e.pc = fe.pc;
+    e.inst = fe.inst;
+    e.uops = fe.uops;
+    e.predicted_taken = fe.predicted_taken;
+    e.predicted_target = fe.predicted_target;
+    e.pred_from_rsb = fe.pred_from_rsb;
+
+    // Capture producers: youngest older writer of each operand.
+    auto find_producer = [&](Reg r) -> std::uint64_t {
+      if (r == Reg::None) return 0;
+      for (auto it = ctx.rob.rbegin(); it != ctx.rob.rend(); ++it)
+        if (it->writes_reg && reg_written(it->inst) == r) return it->seq;
+      return 0;
+    };
+    e.prod_a = find_producer(reg_a(e.inst));
+    e.prod_b = find_producer(reg_b(e.inst));
+    if (e.inst.reads_flags()) {
+      for (auto it = ctx.rob.rbegin(); it != ctx.rob.rend(); ++it)
+        if (it->writes_flags) {
+          e.prod_flags = it->seq;
+          break;
+        }
+    }
+    e.writes_reg = reg_written(e.inst) != Reg::None;
+    e.writes_flags = e.inst.writes_flags();
+
+    budget -= e.uops;
+    alloc_uops_this_cycle_ += e.uops;
+    pmu_.inc(PmuEvent::UOPS_ISSUED_ANY, static_cast<std::uint64_t>(e.uops));
+    ++waiting;
+    trace(t, TraceEvent::Alloc, &e);
+    ctx.rob.push_back(std::move(e));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute
+// ---------------------------------------------------------------------------
+
+Core::RobEntry* Core::find_entry(ThreadCtx& ctx, std::uint64_t seq) {
+  for (RobEntry& e : ctx.rob)
+    if (e.seq == seq) return &e;
+  return nullptr;
+}
+
+bool Core::operand_ready(ThreadCtx& ctx, std::uint64_t producer) const {
+  if (producer == 0) return true;
+  for (const RobEntry& e : ctx.rob) {
+    if (e.seq == producer)
+      return e.state != EntryState::Waiting && cycle_ >= e.forward_at;
+  }
+  return true;  // producer already retired: value is architectural
+}
+
+std::uint64_t Core::read_operand(ThreadCtx& ctx, Reg r,
+                                 std::uint64_t producer) {
+  if (r == Reg::None) return 0;
+  if (producer != 0) {
+    if (RobEntry* e = find_entry(ctx, producer)) return e->result;
+  }
+  return ctx.regs[static_cast<std::size_t>(r)];
+}
+
+isa::Flags Core::read_flags(ThreadCtx& ctx, std::uint64_t producer) {
+  if (producer != 0) {
+    if (RobEntry* e = find_entry(ctx, producer)) return e->flags_out;
+  }
+  return ctx.flags;
+}
+
+bool Core::operand_tainted(ThreadCtx& ctx, std::uint64_t producer) {
+  if (producer == 0) return false;
+  if (RobEntry* e = find_entry(ctx, producer)) return e->stale_tainted;
+  return false;
+}
+
+bool Core::fence_blocks(const ThreadCtx& ctx, std::uint64_t seq) const {
+  for (const RobEntry& e : ctx.rob) {
+    if (e.seq >= seq) break;
+    if (e.inst.is_fence() && e.state != EntryState::Done) return true;
+  }
+  return false;
+}
+
+bool Core::older_window_exists(const ThreadCtx& ctx,
+                               std::uint64_t seq) const {
+  for (const RobEntry& e : ctx.rob) {
+    if (e.seq >= seq) break;
+    if (e.fault != mem::Fault::None) return true;
+    if (e.inst.op == Opcode::Ret && e.state != EntryState::Done) return true;
+    // Any unresolved older conditional branch keeps execution speculative —
+    // the Spectre-V1 window (bounds check pending on a slow load).
+    if (e.inst.op == Opcode::Jcc && e.state != EntryState::Done) return true;
+  }
+  return false;
+}
+
+void Core::step_issue() {
+  int loads = 0, stores = 0, branches = 0;
+  int issued = 0;
+  for (int t = 0; t < nthreads_; ++t) {
+    ThreadCtx& ctx = ctx_[t];
+    if (!ctx.active || ctx.halted) continue;
+    // Oldest-first scheduling. Entries may be squashed by a resteer mid-
+    // scan, so re-check validity through indices into the deque.
+    for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+      if (issued >= cfg_.issue_width) break;
+      RobEntry& e = ctx.rob[i];
+      if (e.state != EntryState::Waiting) continue;
+      try_issue_entry(ctx, e, loads, stores, branches, issued);
+      // A branch misprediction squashes younger entries; the loop bound
+      // shrinks naturally via ctx.rob.size().
+    }
+  }
+  issued_uops_this_cycle_ = issued;
+}
+
+void Core::try_issue_entry(ThreadCtx& ctx, RobEntry& e, int& loads,
+                           int& stores, int& branches, int& issued_uops) {
+  const Instruction& in = e.inst;
+
+  // Port capacity.
+  if (in.is_load() && loads >= cfg_.load_ports) return;
+  if (in.is_store() && stores >= cfg_.store_ports) return;
+  if (in.is_branch() && branches >= cfg_.branch_ports) return;
+
+  // Dispatch serialisation: LFENCE/MFENCE block younger issue.
+  if (fence_blocks(ctx, e.seq)) return;
+
+  // Fences (and RDTSCP's wait-for-older semantics) hold issue until all
+  // older entries complete.
+  if (in.is_fence() || in.op == Opcode::Rdtscp) {
+    for (const RobEntry& o : ctx.rob) {
+      if (o.seq >= e.seq) break;
+      if (o.state != EntryState::Done) return;
+    }
+  }
+
+  // Loads (and CLFLUSH) wait for older stores to drain, and loads also wait
+  // for older CLFLUSHes — conservative memory disambiguation that gives
+  // store→clflush→ret the paper's ordering (Listing 1).
+  if (in.is_load() || in.op == Opcode::Clflush) {
+    for (const RobEntry& o : ctx.rob) {
+      if (o.seq >= e.seq) break;
+      if (o.inst.is_store() && o.state != EntryState::Done) return;
+      if (in.is_load() && o.inst.op == Opcode::Clflush &&
+          o.state != EntryState::Done)
+        return;
+    }
+  }
+
+  // Operand readiness.
+  if (!operand_ready(ctx, e.prod_a) || !operand_ready(ctx, e.prod_b)) return;
+  if (e.inst.reads_flags() && !operand_ready(ctx, e.prod_flags)) return;
+
+  // Issue.
+  e.state = EntryState::Issued;
+  trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::Issue, &e);
+  issued_uops += e.uops;
+  if (in.is_load()) ++loads;
+  if (in.is_store()) ++stores;
+  if (in.is_branch()) ++branches;
+  execute_entry(ctx, e);
+}
+
+void Core::execute_entry(ThreadCtx& ctx, RobEntry& e) {
+  const Instruction& in = e.inst;
+  const std::uint64_t a = read_operand(ctx, reg_a(in), e.prod_a);
+  const std::uint64_t b = read_operand(ctx, reg_b(in), e.prod_b);
+  e.stale_tainted =
+      operand_tainted(ctx, e.prod_a) || operand_tainted(ctx, e.prod_b) ||
+      (in.reads_flags() && operand_tainted(ctx, e.prod_flags));
+
+  int latency = 1;
+
+  switch (in.op) {
+    case Opcode::Nop:
+      break;
+    case Opcode::MovRI:
+      e.result = static_cast<std::uint64_t>(in.imm);
+      break;
+    case Opcode::MovRR:
+      e.result = a;
+      break;
+    case Opcode::AddRI: {
+      const std::uint64_t imm = static_cast<std::uint64_t>(in.imm);
+      e.result = a + imm;
+      e.flags_out = alu_flags(e.result, e.result < a,
+                              ((~(a ^ imm) & (a ^ e.result)) >> 63) != 0);
+      break;
+    }
+    case Opcode::AddRR: {
+      e.result = a + b;
+      e.flags_out = alu_flags(e.result, e.result < a,
+                              ((~(a ^ b) & (a ^ e.result)) >> 63) != 0);
+      break;
+    }
+    case Opcode::SubRI:
+    case Opcode::CmpRI: {
+      const std::uint64_t imm = static_cast<std::uint64_t>(in.imm);
+      const std::uint64_t r = a - imm;
+      e.flags_out = alu_flags(r, a < imm,
+                              (((a ^ imm) & (a ^ r)) >> 63) != 0);
+      e.result = in.op == Opcode::SubRI ? r : a;
+      break;
+    }
+    case Opcode::SubRR:
+    case Opcode::CmpRR: {
+      const std::uint64_t r = a - b;
+      e.flags_out =
+          alu_flags(r, a < b, (((a ^ b) & (a ^ r)) >> 63) != 0);
+      e.result = in.op == Opcode::SubRR ? r : a;
+      break;
+    }
+    case Opcode::AndRI:
+      e.result = a & static_cast<std::uint64_t>(in.imm);
+      e.flags_out = alu_flags(e.result, false, false);
+      break;
+    case Opcode::OrRI:
+      e.result = a | static_cast<std::uint64_t>(in.imm);
+      e.flags_out = alu_flags(e.result, false, false);
+      break;
+    case Opcode::XorRR:
+      e.result = a ^ b;
+      e.flags_out = alu_flags(e.result, false, false);
+      break;
+    case Opcode::ShlRI:
+      e.result = a << (in.imm & 63);
+      e.flags_out = alu_flags(e.result, false, false);
+      break;
+    case Opcode::ShrRI:
+      e.result = a >> (in.imm & 63);
+      e.flags_out = alu_flags(e.result, false, false);
+      break;
+    case Opcode::TestRR: {
+      const std::uint64_t r = a & b;
+      e.flags_out = alu_flags(r, false, false);
+      e.result = a;
+      break;
+    }
+    case Opcode::ImulRR:
+      e.result = a * b;
+      e.flags_out = alu_flags(e.result, false, false);
+      latency = 3;
+      break;
+    case Opcode::Neg: {
+      e.result = static_cast<std::uint64_t>(-static_cast<std::int64_t>(a));
+      e.flags_out = alu_flags(e.result, a != 0, false);
+      break;
+    }
+    case Opcode::Not:
+      e.result = ~a;
+      break;
+    case Opcode::Lea:
+      e.result = a + static_cast<std::uint64_t>(in.disp);
+      break;
+    case Opcode::Cmov: {
+      // Branchless select: resolves in the data path, never touches the
+      // BPU — the §6.2-style rewrite that silences the TET channel.
+      const isa::Flags f = read_flags(ctx, e.prod_flags);
+      e.result = isa::eval_cond(in.cond, f) ? b : a;
+      latency = 2;
+      break;
+    }
+    case Opcode::Pause:
+      latency = 8;
+      break;
+    case Opcode::AvxOp: {
+      // Power-up is a persistent side effect of *execution* — transient
+      // AVX ops warm the unit even when later squashed (the AVX-timing
+      // channel's transmitter).
+      latency = 3;
+      if (cfg_.avx_power_gating && cycle_ >= avx_warm_until_)
+        latency += cfg_.avx_power_up_cycles;
+      avx_warm_until_ =
+          cycle_ + static_cast<std::uint64_t>(cfg_.avx_warm_cycles);
+      break;
+    }
+    case Opcode::Load:
+    case Opcode::LoadByte: {
+      mem::AccessRequest req;
+      req.vaddr = a + static_cast<std::uint64_t>(in.disp);
+      req.type = mem::AccessType::Read;
+      req.user_mode = ctx.user_mode;
+      req.size = in.op == Opcode::LoadByte ? 1 : 8;
+      const mem::AccessResult r = mem_.access(req);
+      latency = std::max(1, r.latency);
+      e.fault = r.fault;
+      e.result = r.data;
+      e.data_forwarded = r.data_forwarded;
+      if (r.from_lfb_stale) e.stale_tainted = true;
+      if (r.fault != mem::Fault::None) {
+        // Dependents consume the (transiently forwarded) value early; the
+        // fault is only confirmed when the walk/replay finishes.
+        e.forward_at = r.data_forwarded
+                           ? cycle_ + static_cast<std::uint64_t>(
+                                          cfg_.forward_latency)
+                           : cycle_ + static_cast<std::uint64_t>(latency);
+      }
+      break;
+    }
+    case Opcode::Store:
+    case Opcode::StoreByte: {
+      mem::AccessRequest req;
+      req.vaddr = a + static_cast<std::uint64_t>(in.disp);
+      req.type = mem::AccessType::Write;
+      req.user_mode = ctx.user_mode;
+      req.size = in.op == Opcode::StoreByte ? 1 : 8;
+      req.store_value = b;
+      const mem::AccessResult r = mem_.access(req);
+      latency = std::max(1, r.latency);
+      e.fault = r.fault;
+      if (r.fault == mem::Fault::None) {
+        e.store_applied = true;
+        e.store_paddr = r.paddr;
+        e.store_old = r.data;
+        e.store_size = req.size;
+      }
+      break;
+    }
+    case Opcode::Clflush:
+      mem_.clflush(a + static_cast<std::uint64_t>(in.disp));
+      latency = 4;
+      break;
+    case Opcode::Prefetch: {
+      mem::AccessRequest req;
+      req.vaddr = a + static_cast<std::uint64_t>(in.disp);
+      req.type = mem::AccessType::Prefetch;
+      req.user_mode = ctx.user_mode;
+      const mem::AccessResult r = mem_.access(req);
+      // PREFETCH never faults architecturally, but its latency exposes the
+      // walk time — the EntryBleed-style baseline measures exactly this.
+      latency = std::max(1, r.latency);
+      break;
+    }
+    case Opcode::Mfence:
+      latency = 4;
+      break;
+    case Opcode::Lfence:
+      latency = 2;
+      break;
+    case Opcode::Rdtsc:
+    case Opcode::Rdtscp:
+      e.result = cycle_;
+      latency = 12;
+      break;
+    case Opcode::TsxBegin:
+    case Opcode::TsxEnd:
+      latency = 2;
+      break;
+    case Opcode::Jmp:
+      break;
+    case Opcode::Jcc: {
+      const isa::Flags f = read_flags(ctx, e.prod_flags);
+      const bool taken = isa::eval_cond(in.cond, f);
+      resolve_branch(ctx, e, taken, in.target);
+      break;
+    }
+    case Opcode::Call: {
+      // Push the return address; the branch itself was handled at fetch.
+      mem::AccessRequest req;
+      req.vaddr = a - 8;  // a = RSP
+      req.type = mem::AccessType::Write;
+      req.user_mode = ctx.user_mode;
+      req.size = 8;
+      req.store_value = static_cast<std::uint64_t>(e.pc + 1);
+      const mem::AccessResult r = mem_.access(req);
+      latency = std::max(1, r.latency);
+      e.fault = r.fault;
+      if (r.fault == mem::Fault::None) {
+        e.store_applied = true;
+        e.store_paddr = r.paddr;
+        e.store_old = r.data;
+        e.store_size = 8;
+      }
+      e.result = a - 8;  // new RSP
+      break;
+    }
+    case Opcode::Ret: {
+      mem::AccessRequest req;
+      req.vaddr = a;  // a = RSP
+      req.type = mem::AccessType::Read;
+      req.user_mode = ctx.user_mode;
+      req.size = 8;
+      const mem::AccessResult r = mem_.access(req);
+      latency = std::max(1, r.latency);
+      e.fault = r.fault;
+      e.result = a + 8;        // new RSP
+      e.flags_out = ctx.flags;  // unused
+      // Loaded return target stashed for resolution at completion.
+      e.predicted_target = e.predicted_target;  // set at fetch
+      e.store_old = r.data;  // reuse field: actual return target
+      break;
+    }
+    case Opcode::Halt:
+      break;
+  }
+
+  e.complete_at = cycle_ + static_cast<std::uint64_t>(latency);
+  if (e.forward_at == 0) e.forward_at = e.complete_at;
+}
+
+void Core::resolve_branch(ThreadCtx& ctx, RobEntry& e, bool actual_taken,
+                          std::int32_t actual_target) {
+  bpu_.update_cond(e.pc, actual_taken);
+  if (actual_taken) bpu_.btb_record(e.pc, actual_target);
+
+  const bool mispredicted = actual_taken != e.predicted_taken;
+  if (!mispredicted) {
+    if (cfg_.vendor == Vendor::Amd) pmu_.inc(PmuEvent::BP_L1_BTB_CORRECT);
+    return;
+  }
+
+  pmu_.inc(PmuEvent::BR_MISP_EXEC_ALL_BRANCHES);
+  trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::Mispredict, &e);
+  const bool transient = older_window_exists(ctx, e.seq);
+  int window_drain = 0;
+  if (transient) {
+    ctx.window_mispredict = true;
+    handle_transient_shortcuts(ctx, e);
+  } else {
+    pmu_.inc(PmuEvent::BR_MISP_RETIRED_ALL_BRANCHES);
+    if (ctx.window_mispredict) {
+      // This architectural misprediction ends a speculation window that
+      // contained a transient resteer (Spectre-V1 shape): the inner
+      // recovery work drains into this resteer, lengthening ToTE exactly
+      // as the machine clear does for exception windows.
+      window_drain = cfg_.transient_resteer_clear_penalty;
+      if (ctx.frontend_ready_at > cycle_)
+        window_drain += static_cast<int>(ctx.frontend_ready_at - cycle_);
+      ctx.window_mispredict = false;
+    }
+  }
+
+  // Resteer: squash the wrong path and refetch — this happens even inside a
+  // transient window, which is the root cause of the Whisper channel (§5.2.2).
+  squash_younger(ctx, e.seq);
+  redirect_fetch(ctx, actual_taken ? actual_target : e.pc + 1);
+  ctx.frontend_ready_at = std::max(
+      ctx.frontend_ready_at,
+      cycle_ + static_cast<std::uint64_t>(cfg_.resteer_cycles +
+                                          window_drain));
+  // RAT recovery keeps allocation stalled for a few cycles after the
+  // refetched uops arrive (counted as resource stalls while the IDQ holds
+  // work).
+  ctx.alloc_stall_until = std::max(
+      ctx.alloc_stall_until,
+      ctx.frontend_ready_at + static_cast<std::uint64_t>(
+                                  cfg_.mite_decode_latency +
+                                  cfg_.recovery_extra_cycles));
+  pmu_.inc(PmuEvent::INT_MISC_CLEAR_RESTEER_CYCLES,
+           static_cast<std::uint64_t>(cfg_.resteer_cycles));
+  pmu_.inc(PmuEvent::INT_MISC_RECOVERY_CYCLES,
+           static_cast<std::uint64_t>(cfg_.recovery_extra_cycles));
+  pmu_.inc(PmuEvent::INT_MISC_RECOVERY_CYCLES_ANY,
+           static_cast<std::uint64_t>(cfg_.recovery_extra_cycles));
+  // The RAT-token shortage during recovery counts as a resource stall even
+  // when a machine clear preempts the refill (Table 3: RESOURCE_STALLS.ANY
+  // rises on every triggered scene).
+  pmu_.inc(PmuEvent::RESOURCE_STALLS_ANY,
+           static_cast<std::uint64_t>(cfg_.recovery_extra_cycles / 2));
+}
+
+void Core::handle_transient_shortcuts(ThreadCtx& ctx,
+                                      const RobEntry& branch) {
+  if (!cfg_.early_clear_on_transient_mispredict) return;
+
+  // MDS/assist window: a mispredict whose dataflow touched stale LFB data
+  // initiates the squash early — the faulting load stops replaying its walk
+  // and the fault is confirmed immediately (TET-ZBL: trigger => shorter).
+  if (branch.stale_tainted) {
+    for (RobEntry& o : ctx.rob) {
+      if (o.seq >= branch.seq) break;
+      if (o.fault == mem::Fault::NotPresent && o.data_forwarded &&
+          o.state == EntryState::Issued && o.complete_at > cycle_ + 1) {
+        o.complete_at = cycle_ + 1;
+        o.forward_at = std::min(o.forward_at, o.complete_at);
+        o.early_cleared = true;
+        break;
+      }
+    }
+  }
+
+  // RSB window: the squash propagates to the pending return, which resolves
+  // early instead of waiting for its (slow) target load
+  // (TET-RSB: trigger => shorter, §4.3.3).
+  for (RobEntry& o : ctx.rob) {
+    if (o.seq >= branch.seq) break;
+    if (o.inst.op == Opcode::Ret && o.state == EntryState::Issued &&
+        o.complete_at > cycle_ + static_cast<std::uint64_t>(
+                                     cfg_.early_ret_resolve_cycles)) {
+      o.complete_at =
+          cycle_ + static_cast<std::uint64_t>(cfg_.early_ret_resolve_cycles);
+      o.forward_at = std::min(o.forward_at, o.complete_at);
+      o.early_cleared = true;
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+void Core::step_complete() {
+  for (int t = 0; t < nthreads_; ++t) {
+    ThreadCtx& ctx = ctx_[t];
+    if (!ctx.active || ctx.halted) continue;
+    for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+      RobEntry& e = ctx.rob[i];
+      if (e.state != EntryState::Issued || cycle_ < e.complete_at) continue;
+      e.state = EntryState::Done;
+      trace(t, TraceEvent::Complete, &e);
+      if (e.inst.op == Opcode::Ret && e.fault == mem::Fault::None) {
+        // The loaded return target is now known: check the RSB prediction.
+        const auto actual =
+            static_cast<std::int32_t>(e.store_old);  // stashed target
+        if (e.predicted_target == actual) {
+          if (cfg_.vendor == Vendor::Amd)
+            pmu_.inc(PmuEvent::BP_L1_BTB_CORRECT);
+        } else if (e.predicted_target < 0) {
+          // No prediction was made; simply steer the stalled front end.
+          squash_younger(ctx, e.seq);
+          redirect_fetch(ctx, actual);
+          ctx.frontend_ready_at = std::max(ctx.frontend_ready_at, cycle_ + 2);
+        } else {
+          // Spectre-RSB misprediction resolved: squash the transient return
+          // path and resteer (no machine clear — hence TET-RSB's speed).
+          pmu_.inc(PmuEvent::BR_MISP_EXEC_ALL_BRANCHES);
+          pmu_.inc(PmuEvent::BR_MISP_EXEC_INDIRECT);
+          squash_younger(ctx, e.seq);
+          redirect_fetch(ctx, actual);
+          ctx.frontend_ready_at = std::max(
+              ctx.frontend_ready_at,
+              cycle_ + static_cast<std::uint64_t>(cfg_.resteer_cycles));
+          ctx.alloc_stall_until = std::max(
+              ctx.alloc_stall_until,
+              cycle_ + static_cast<std::uint64_t>(
+                           cfg_.resteer_cycles + cfg_.recovery_extra_cycles));
+          pmu_.inc(PmuEvent::INT_MISC_CLEAR_RESTEER_CYCLES,
+                   static_cast<std::uint64_t>(cfg_.resteer_cycles));
+          pmu_.inc(PmuEvent::INT_MISC_RECOVERY_CYCLES,
+                   static_cast<std::uint64_t>(cfg_.recovery_extra_cycles));
+          pmu_.inc(PmuEvent::INT_MISC_RECOVERY_CYCLES_ANY,
+                   static_cast<std::uint64_t>(cfg_.recovery_extra_cycles));
+          // The transient window ended by resteer; any inner transient
+          // mispredict was consumed by the early resolution.
+          ctx.window_mispredict = false;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Retirement
+// ---------------------------------------------------------------------------
+
+void Core::step_retire(int t) {
+  ThreadCtx& ctx = ctx_[t];
+  int budget = cfg_.retire_width;
+  while (budget > 0 && !ctx.rob.empty()) {
+    RobEntry& head = ctx.rob.front();
+    if (head.state != EntryState::Done) break;
+
+    if (head.fault != mem::Fault::None) {
+      machine_clear(t, head);
+      return;
+    }
+
+    // Architectural commit.
+    if (head.writes_reg)
+      ctx.regs[static_cast<std::size_t>(reg_written(head.inst))] =
+          head.result;
+    if (head.writes_flags) ctx.flags = head.flags_out;
+
+    switch (head.inst.op) {
+      case Opcode::Rdtsc:
+      case Opcode::Rdtscp:
+        ctx.tsc_out.push_back(head.result);
+        break;
+      case Opcode::TsxBegin:
+        ctx.in_tsx = true;
+        ctx.tsx_abort_target = head.inst.target;
+        break;
+      case Opcode::TsxEnd:
+        ctx.in_tsx = false;
+        break;
+      case Opcode::Halt:
+        ctx.halted = true;
+        break;
+      default:
+        break;
+    }
+    pmu_.inc(PmuEvent::UOPS_RETIRED_ALL,
+             static_cast<std::uint64_t>(head.uops));
+    trace(t, TraceEvent::Retire, &head);
+    ++ctx.retired;
+    --budget;
+    ctx.rob.pop_front();
+    if (ctx.halted) return;
+  }
+}
+
+void Core::machine_clear(int t, RobEntry& faulting) {
+  ThreadCtx& ctx = ctx_[t];
+  pmu_.inc(PmuEvent::MACHINE_CLEARS_COUNT);
+  trace(t, TraceEvent::MachineClear, &faulting);
+
+  // Where does control go, and what does suppression cost?
+  std::int32_t target = -1;
+  int base_cost = 0;
+  if (ctx.in_tsx) {
+    target = ctx.tsx_abort_target;
+    base_cost = cfg_.tsx_abort_cycles;
+    ctx.in_tsx = false;
+    trace(t, TraceEvent::TsxAbort, &faulting);
+  } else if (ctx.signal_handler >= 0) {
+    target = ctx.signal_handler;
+    base_cost = cfg_.signal_dispatch_cycles;
+    trace(t, TraceEvent::SignalRedirect, &faulting);
+  }
+
+  // The Whisper delta for exception-terminated windows: a transient resteer
+  // inside the window leaves recovery work that the clear must drain
+  // (trigger => longer ToTE). Early-cleared assist windows already squashed.
+  int extra = 0;
+  if (ctx.window_mispredict && !faulting.early_cleared) {
+    extra = cfg_.transient_resteer_clear_penalty;
+    if (ctx.frontend_ready_at > cycle_)
+      extra += static_cast<int>(ctx.frontend_ready_at - cycle_);
+    // The recovery machinery retro-counts the transient misprediction —
+    // reproducing the 0→1 / 0→2 counter jumps of Table 3.
+    pmu_.inc(PmuEvent::BR_MISP_EXEC_INDIRECT);
+    pmu_.inc(PmuEvent::BR_MISP_EXEC_ALL_BRANCHES);
+  }
+  ctx.window_mispredict = false;
+
+  const mem::Fault fault_kind = faulting.fault;
+  squash_all(ctx);
+  ctx.idq.clear();
+
+  const std::uint64_t stall = static_cast<std::uint64_t>(
+      cfg_.machine_clear_cycles + base_cost + extra);
+  ctx.frontend_ready_at = cycle_ + stall;
+  ctx.alloc_stall_until = cycle_ + stall;
+  if (nthreads_ > 1) {
+    // A machine clear monopolises the shared front end — the §4.4 SMT
+    // covert channel's transmission mechanism.
+    shared_frontend_busy_until_ =
+        std::max(shared_frontend_busy_until_,
+                 cycle_ + static_cast<std::uint64_t>(
+                              cfg_.machine_clear_cycles + base_cost / 2));
+  }
+
+  pmu_.inc(PmuEvent::INT_MISC_CLEAR_RESTEER_CYCLES,
+           static_cast<std::uint64_t>(cfg_.resteer_cycles));
+  const auto recovery = static_cast<std::uint64_t>(
+      cfg_.machine_clear_cycles * 2 / 3 + extra / 2);
+  pmu_.inc(PmuEvent::INT_MISC_RECOVERY_CYCLES, recovery);
+  pmu_.inc(PmuEvent::INT_MISC_RECOVERY_CYCLES_ANY, recovery);
+
+  if (target < 0) {
+    ctx.killed = true;
+    ctx.halted = true;
+    return;
+  }
+
+  // In a long (unmapped-address) window the speculative front end runs far
+  // ahead into cold code; with the TLBs freshly evicted this shows up as
+  // ITLB walk activity — the ITLB_MISSES.WALK_ACTIVE row of Table 3.
+  if (fault_kind == mem::Fault::NotPresent)
+    mem_.instruction_probe(ctx.code_base +
+                           static_cast<std::uint64_t>(target) * 16);
+
+  redirect_fetch(ctx, target);
+}
+
+// ---------------------------------------------------------------------------
+// Squash / redirect helpers
+// ---------------------------------------------------------------------------
+
+void Core::undo_store(const RobEntry& e) {
+  if (!e.store_applied) return;
+  if (e.store_size == 1)
+    mem_.phys().write8(e.store_paddr,
+                       static_cast<std::uint8_t>(e.store_old));
+  else
+    mem_.phys().write64(e.store_paddr, e.store_old);
+}
+
+void Core::squash_younger(ThreadCtx& ctx, std::uint64_t seq) {
+  std::uint64_t dropped = 0;
+  while (!ctx.rob.empty() && ctx.rob.back().seq > seq) {
+    undo_store(ctx.rob.back());
+    ctx.rob.pop_back();
+    ++dropped;
+  }
+  ctx.idq.clear();
+  if (dropped)
+    trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::SquashYounger, nullptr,
+          dropped);
+}
+
+void Core::squash_all(ThreadCtx& ctx) {
+  while (!ctx.rob.empty()) {
+    undo_store(ctx.rob.back());
+    ctx.rob.pop_back();
+  }
+}
+
+void Core::redirect_fetch(ThreadCtx& ctx, std::int32_t target) {
+  trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::Resteer, nullptr,
+        static_cast<std::uint64_t>(target));
+  ctx.fetch_pc = target;
+  ctx.fetch_halted = false;
+  ctx.force_mite = 2;  // pipeline restart goes through the legacy decoder
+  const std::int32_t block = target / kInstrBlock;
+  if (!ctx.dsb_blocks.contains(block)) ctx.pending_mite_bubble = true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle PMU accounting
+// ---------------------------------------------------------------------------
+
+void Core::per_cycle_pmu() {
+  pmu_.inc(PmuEvent::CORE_CYCLES);
+
+  if (issued_uops_this_cycle_ == 0) {
+    pmu_.inc(PmuEvent::UOPS_EXECUTED_STALL_CYCLES);
+    pmu_.inc(PmuEvent::UOPS_EXECUTED_CORE_CYCLES_NONE);
+    pmu_.inc(PmuEvent::CYCLE_ACTIVITY_STALLS_TOTAL);
+  }
+  if (alloc_uops_this_cycle_ == 0)
+    pmu_.inc(PmuEvent::UOPS_ISSUED_STALL_CYCLES);
+
+  bool mem_in_flight = false;
+  bool rs_nonempty = false;
+  for (int t = 0; t < nthreads_; ++t) {
+    const ThreadCtx& ctx = ctx_[t];
+    if (!ctx.active) continue;
+    for (const RobEntry& e : ctx.rob) {
+      if (e.state == EntryState::Waiting) rs_nonempty = true;
+      if (e.inst.is_load() && e.state == EntryState::Issued &&
+          e.complete_at > cycle_)
+        mem_in_flight = true;
+    }
+  }
+  if (mem_in_flight) pmu_.inc(PmuEvent::CYCLE_ACTIVITY_CYCLES_MEM_ANY);
+  if (!rs_nonempty) pmu_.inc(PmuEvent::RS_EVENTS_EMPTY_CYCLES);
+
+  if (cfg_.vendor == Vendor::Amd && ctx_[0].active && ctx_[0].idq.empty())
+    pmu_.inc(PmuEvent::DE_DIS_UOP_QUEUE_EMPTY_DI0);
+}
+
+}  // namespace whisper::uarch

@@ -1,0 +1,260 @@
+// The out-of-order core model.
+//
+// A structural pipeline — fetch/decode (DSB vs MITE), allocate, issue to
+// ports, execute, in-order retire — sized and parameterised by CpuConfig.
+// It models exactly the mechanisms the paper's root-cause analysis
+// identifies (§5):
+//
+//  * Faulting loads defer the fault to retirement; younger instructions
+//    execute transiently on (possibly forwarded) data.
+//  * A transient conditional branch still resolves in the back end; on
+//    misprediction it resteers the front end (CLEAR_RESTEER cycles, MITE
+//    refetch) and leaves recovery work that the terminal machine clear must
+//    drain — the Whisper ToTE delta for exception windows (trigger=longer).
+//  * For assist-terminated windows (MDS) and RSB windows, a dependent
+//    transient mispredict initiates the squash early (trigger=shorter).
+//  * Machine clears redirect to a TSX abort target or a signal handler,
+//    with very different costs — which is why TET-RSB reaches KB/s while
+//    TET-MD stays at tens of B/s (§4.1).
+//  * Two SMT contexts share the front end; a machine clear on one stalls
+//    the other — the §4.4 covert channel.
+//
+// Architectural state is only changed at retirement (stores are applied
+// eagerly but logged and undone on squash), so transient execution is
+// invisible at the ISA level — as required for a transient-attack study.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "isa/isa.h"
+#include "isa/program.h"
+#include "mem/memory_system.h"
+#include "stats/rng.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/trace.h"
+#include "uarch/config.h"
+#include "uarch/pmu.h"
+
+namespace whisper::uarch {
+
+/// Initial architectural state for one hardware thread.
+struct InitState {
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  isa::Flags flags{};
+  /// Instruction index to redirect to when a fault retires outside a TSX
+  /// region (the signal-handler suppression of the paper's
+  /// `transient_begin`); -1 kills the thread.
+  int signal_handler = -1;
+  bool user_mode = true;
+  /// Virtual base address of the code, for i-side TLB modelling.
+  std::uint64_t code_base = 0x0000000000400000ull;
+};
+
+struct ThreadResult {
+  bool halted = false;
+  bool killed_by_fault = false;
+  std::uint64_t instructions_retired = 0;
+  /// Values of retired RDTSC instructions, in program order.
+  std::vector<std::uint64_t> tsc;
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+};
+
+struct RunResult {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;
+  bool cycle_limit_hit = false;
+  std::array<ThreadResult, 2> thread;
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept {
+    return end_cycle - start_cycle;
+  }
+  [[nodiscard]] const ThreadResult& t0() const noexcept { return thread[0]; }
+};
+
+class Core {
+ public:
+  Core(const CpuConfig& cfg, mem::MemorySystem& mem);
+
+  /// Run a single program on hardware thread 0 until Halt, kill, or limit.
+  RunResult run(const isa::Program& prog, const InitState& init,
+                std::uint64_t cycle_limit = 1'000'000);
+
+  /// Run two programs on the SMT sibling threads (§4.4 covert channel).
+  RunResult run_smt(const isa::Program& p0, const InitState& i0,
+                    const isa::Program& p1, const InitState& i1,
+                    std::uint64_t cycle_limit = 10'000'000);
+
+  [[nodiscard]] Pmu& pmu() noexcept { return pmu_; }
+  [[nodiscard]] const Pmu& pmu() const noexcept { return pmu_; }
+  [[nodiscard]] BranchPredictor& bpu() noexcept { return bpu_; }
+  [[nodiscard]] const CpuConfig& config() const noexcept { return cfg_; }
+  /// Free-running cycle counter (persists across run() calls, like TSC).
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+
+  /// Forget predictor state (models a context switch / fresh victim).
+  void reset_bpu() { bpu_.reset(); }
+
+  /// Attach (or detach with nullptr) a pipeline trace sink.
+  void set_trace(PipelineTrace* trace) noexcept { trace_ = trace; }
+
+  /// Advance the free-running cycle counter without executing anything —
+  /// used by the OS layer to charge attacker-side overheads (TLB eviction
+  /// buffers, process synchronisation) to simulated time.
+  void advance(std::uint64_t cycles) noexcept { cycle_ += cycles; }
+
+ private:
+  enum class EntryState : std::uint8_t { Waiting, Issued, Done };
+
+  struct RobEntry {
+    std::uint64_t seq = 0;
+    std::int32_t pc = 0;
+    isa::Instruction inst;
+    EntryState state = EntryState::Waiting;
+    int uops = 1;
+
+    // Dataflow: seq of the youngest older producer of each operand
+    // (0 = read architectural state).
+    std::uint64_t prod_a = 0;   // first source register
+    std::uint64_t prod_b = 0;   // second source register
+    std::uint64_t prod_flags = 0;
+
+    // Results.
+    std::uint64_t result = 0;
+    isa::Flags flags_out{};
+    bool writes_reg = false;
+    bool writes_flags = false;
+
+    // Timing.
+    std::uint64_t complete_at = 0;   // when the entry becomes Done
+    std::uint64_t forward_at = 0;    // when dependents may consume `result`
+
+    // Memory / fault.
+    mem::Fault fault = mem::Fault::None;
+    bool data_forwarded = false;
+    bool stale_tainted = false;   // dataflow touched stale LFB data (MDS)
+    bool early_cleared = false;   // assist squashed early by transient misp.
+    bool store_applied = false;
+    std::uint64_t store_paddr = 0;
+    std::uint64_t store_old = 0;
+    std::uint8_t store_size = 8;
+
+    // Branch bookkeeping.
+    bool predicted_taken = false;
+    std::int32_t predicted_target = -1;
+    bool pred_from_rsb = false;
+  };
+
+  struct IdqEntry {
+    std::int32_t pc = 0;
+    isa::Instruction inst;
+    bool predicted_taken = false;
+    std::int32_t predicted_target = -1;
+    bool pred_from_rsb = false;
+    bool from_dsb = true;
+    int uops = 1;
+  };
+
+  struct ThreadCtx {
+    bool active = false;
+    const isa::Program* prog = nullptr;
+    std::array<std::uint64_t, isa::kNumRegs> regs{};
+    isa::Flags flags{};
+    bool user_mode = true;
+    int signal_handler = -1;
+    std::uint64_t code_base = 0;
+
+    // Front end.
+    std::int32_t fetch_pc = 0;
+    bool fetch_halted = false;      // saw Halt / unpredicted RET
+    std::uint64_t frontend_ready_at = 0;
+    bool pending_mite_bubble = false;
+    std::deque<IdqEntry> idq;
+    std::unordered_set<std::int32_t> dsb_blocks;
+    int force_mite = 0;  // fetch groups forced through MITE after a resteer
+
+    // Back end.
+    std::deque<RobEntry> rob;
+    std::uint64_t next_seq = 1;
+    std::uint64_t alloc_stall_until = 0;
+
+    // Transient-window bookkeeping.
+    bool window_mispredict = false;
+
+    // TSX (set/cleared at retirement).
+    bool in_tsx = false;
+    std::int32_t tsx_abort_target = -1;
+
+    // Results.
+    bool halted = false;
+    bool killed = false;
+    std::uint64_t retired = 0;
+    std::vector<std::uint64_t> tsc_out;
+  };
+
+  RunResult run_internal(std::uint64_t cycle_limit);
+
+  void step_fetch(int t);
+  void step_alloc(int t);
+  void step_issue();
+  void step_complete();
+  void step_retire(int t);
+  void per_cycle_pmu();
+
+  void try_issue_entry(ThreadCtx& ctx, RobEntry& e, int& loads, int& stores,
+                       int& branches, int& issued_uops);
+  void execute_entry(ThreadCtx& ctx, RobEntry& e);
+  void resolve_branch(ThreadCtx& ctx, RobEntry& e, bool actual_taken,
+                      std::int32_t actual_target);
+  void handle_transient_shortcuts(ThreadCtx& ctx, const RobEntry& branch);
+  void machine_clear(int t, RobEntry& faulting);
+  void squash_younger(ThreadCtx& ctx, std::uint64_t seq);
+  void squash_all(ThreadCtx& ctx);
+  void undo_store(const RobEntry& e);
+  void redirect_fetch(ThreadCtx& ctx, std::int32_t target);
+
+  [[nodiscard]] RobEntry* find_entry(ThreadCtx& ctx, std::uint64_t seq);
+  [[nodiscard]] std::uint64_t read_operand(ThreadCtx& ctx, isa::Reg r,
+                                           std::uint64_t producer);
+  [[nodiscard]] isa::Flags read_flags(ThreadCtx& ctx, std::uint64_t producer);
+  [[nodiscard]] bool operand_ready(ThreadCtx& ctx, std::uint64_t producer)
+      const;
+  [[nodiscard]] bool operand_tainted(ThreadCtx& ctx, std::uint64_t producer);
+  [[nodiscard]] bool fence_blocks(const ThreadCtx& ctx,
+                                  std::uint64_t seq) const;
+  [[nodiscard]] bool older_window_exists(const ThreadCtx& ctx,
+                                         std::uint64_t seq) const;
+
+  void trace(int thread, TraceEvent event, const RobEntry* e = nullptr,
+             std::uint64_t count = 0);
+
+  CpuConfig cfg_;
+  mem::MemorySystem& mem_;
+  Pmu pmu_;
+  BranchPredictor bpu_;
+  stats::Xoshiro256 rng_;
+  PipelineTrace* trace_ = nullptr;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t avx_warm_until_ = 0;  // AVX power-gating state
+  std::uint64_t shared_frontend_busy_until_ = 0;
+  int nthreads_ = 1;
+  std::array<ThreadCtx, 2> ctx_{};
+
+  // The DSB (µop cache) persists across run() calls while the same program
+  // occupies the code region — an attack loop probes with a warm DSB, as on
+  // real hardware. A different program at the same addresses invalidates it
+  // (self-modifying-code nuke).
+  std::array<const isa::Program*, 2> last_prog_{};
+  std::array<std::unordered_set<std::int32_t>, 2> persistent_dsb_{};
+
+  // Per-cycle scratch used by per_cycle_pmu().
+  int issued_uops_this_cycle_ = 0;
+  int alloc_uops_this_cycle_ = 0;
+};
+
+}  // namespace whisper::uarch

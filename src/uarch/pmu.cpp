@@ -1,0 +1,84 @@
+#include "uarch/pmu.h"
+
+namespace whisper::uarch {
+
+std::string to_string(PmuEvent e) {
+  switch (e) {
+    case PmuEvent::BR_MISP_EXEC_INDIRECT: return "BR_MISP_EXEC.INDIRECT";
+    case PmuEvent::BR_MISP_EXEC_ALL_BRANCHES:
+      return "BR_MISP_EXEC.ALL_BRANCHES";
+    case PmuEvent::BR_MISP_RETIRED_ALL_BRANCHES:
+      return "BR_MISP_RETIRED.ALL_BRANCHES";
+    case PmuEvent::MACHINE_CLEARS_COUNT: return "MACHINE_CLEARS.COUNT";
+    case PmuEvent::INT_MISC_RECOVERY_CYCLES: return "INT_MISC.RECOVERY_CYCLES";
+    case PmuEvent::INT_MISC_RECOVERY_CYCLES_ANY:
+      return "INT_MISC.RECOVERY_CYCLES_ANY";
+    case PmuEvent::INT_MISC_CLEAR_RESTEER_CYCLES:
+      return "INT_MISC.CLEAR_RESTEER_CYCLES";
+    case PmuEvent::IDQ_DSB_UOPS: return "IDQ.DSB_UOPS";
+    case PmuEvent::IDQ_MS_DSB_CYCLES: return "IDQ.MS_DSB_CYCLES";
+    case PmuEvent::IDQ_DSB_CYCLES_OK: return "IDQ.DSB_CYCLES_OK";
+    case PmuEvent::IDQ_DSB_CYCLES_ANY: return "IDQ.DSB_CYCLES_ANY";
+    case PmuEvent::IDQ_MS_MITE_UOPS: return "IDQ.MS_MITE_UOPS";
+    case PmuEvent::IDQ_ALL_MITE_CYCLES_ANY_UOPS:
+      return "IDQ.ALL_MITE_CYCLES_ANY_UOPS";
+    case PmuEvent::IDQ_MS_UOPS: return "IDQ.MS_UOPS";
+    case PmuEvent::ICACHE_16B_IFDATA_STALL: return "ICACHE_16B.IFDATA_STALL";
+    case PmuEvent::UOPS_ISSUED_ANY: return "UOPS_ISSUED.ANY";
+    case PmuEvent::UOPS_ISSUED_STALL_CYCLES: return "UOPS_ISSUED.STALL_CYCLES";
+    case PmuEvent::UOPS_EXECUTED_CORE_CYCLES_NONE:
+      return "UOPS_EXECUTED.CORE_CYCLES_NONE";
+    case PmuEvent::UOPS_EXECUTED_STALL_CYCLES:
+      return "UOPS_EXECUTED.STALL_CYCLES";
+    case PmuEvent::RESOURCE_STALLS_ANY: return "RESOURCE_STALLS.ANY";
+    case PmuEvent::RS_EVENTS_EMPTY_CYCLES: return "RS_EVENTS.EMPTY_CYCLES";
+    case PmuEvent::CYCLE_ACTIVITY_STALLS_TOTAL:
+      return "CYCLE_ACTIVITY.STALLS_TOTAL";
+    case PmuEvent::CYCLE_ACTIVITY_CYCLES_MEM_ANY:
+      return "CYCLE_ACTIVITY.CYCLES_MEM_ANY";
+    case PmuEvent::UOPS_RETIRED_ALL: return "UOPS_RETIRED.ALL";
+    case PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK:
+      return "DTLB_LOAD_MISSES.MISS_CAUSES_A_WALK";
+    case PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE:
+      return "DTLB_LOAD_MISSES.WALK_ACTIVE";
+    case PmuEvent::ITLB_MISSES_WALK_ACTIVE: return "ITLB_MISSES.WALK_ACTIVE";
+    case PmuEvent::DTLB_LOAD_MISSES_STLB_HIT:
+      return "DTLB_LOAD_MISSES.STLB_HIT";
+    case PmuEvent::MEM_LOAD_RETIRED_L1_HIT: return "MEM_LOAD_RETIRED.L1_HIT";
+    case PmuEvent::MEM_LOAD_RETIRED_L2_HIT: return "MEM_LOAD_RETIRED.L2_HIT";
+    case PmuEvent::MEM_LOAD_RETIRED_L3_HIT: return "MEM_LOAD_RETIRED.L3_HIT";
+    case PmuEvent::MEM_LOAD_RETIRED_DRAM: return "MEM_LOAD_RETIRED.DRAM";
+    case PmuEvent::BP_L1_BTB_CORRECT: return "bp_l1_btb_correct";
+    case PmuEvent::BP_L1_TLB_FETCH_HIT: return "bp_l1_tlb_fetch_hit";
+    case PmuEvent::DE_DIS_UOP_QUEUE_EMPTY_DI0:
+      return "de_dis_uop_queue_empty_di0";
+    case PmuEvent::DE_DIS_DISPATCH_TOKEN_STALLS2_RETIRE_TOKEN_STALL:
+      return "de_dis_dispatch_token_stalls2.retire_token_stall";
+    case PmuEvent::IC_FW32: return "ic_fw32";
+    case PmuEvent::CORE_CYCLES: return "core_cycles";
+    case PmuEvent::Count: break;
+  }
+  return "unknown_event";
+}
+
+Vendor event_vendor(PmuEvent e) {
+  switch (e) {
+    case PmuEvent::BP_L1_BTB_CORRECT:
+    case PmuEvent::BP_L1_TLB_FETCH_HIT:
+    case PmuEvent::DE_DIS_UOP_QUEUE_EMPTY_DI0:
+    case PmuEvent::DE_DIS_DISPATCH_TOKEN_STALLS2_RETIRE_TOKEN_STALL:
+    case PmuEvent::IC_FW32:
+      return Vendor::Amd;
+    default:
+      return Vendor::Intel;
+  }
+}
+
+PmuSnapshot pmu_delta(const PmuSnapshot& before, const PmuSnapshot& after) {
+  PmuSnapshot d{};
+  for (std::size_t i = 0; i < kNumPmuEvents; ++i)
+    d[i] = after[i] >= before[i] ? after[i] - before[i] : 0;
+  return d;
+}
+
+}  // namespace whisper::uarch

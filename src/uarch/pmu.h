@@ -1,0 +1,123 @@
+// Performance monitor unit model.
+//
+// Counts the named Intel and AMD events used in the paper's root-cause
+// analysis (Table 3). Events are incremented by the pipeline and the memory
+// system at the points that generate them on real hardware; the PmuToolset
+// (src/core/pmu_toolset) then replays the paper's differential analysis on
+// top of snapshots of these counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.h"
+#include "uarch/config.h"
+
+namespace whisper::uarch {
+
+enum class PmuEvent : std::uint16_t {
+  // --- Intel: branch / speculation ---
+  BR_MISP_EXEC_INDIRECT,
+  BR_MISP_EXEC_ALL_BRANCHES,
+  BR_MISP_RETIRED_ALL_BRANCHES,
+  MACHINE_CLEARS_COUNT,
+  INT_MISC_RECOVERY_CYCLES,
+  INT_MISC_RECOVERY_CYCLES_ANY,
+  INT_MISC_CLEAR_RESTEER_CYCLES,
+  // --- Intel: front end ---
+  IDQ_DSB_UOPS,
+  IDQ_MS_DSB_CYCLES,
+  IDQ_DSB_CYCLES_OK,
+  IDQ_DSB_CYCLES_ANY,
+  IDQ_MS_MITE_UOPS,
+  IDQ_ALL_MITE_CYCLES_ANY_UOPS,
+  IDQ_MS_UOPS,
+  ICACHE_16B_IFDATA_STALL,
+  // --- Intel: allocation / back end ---
+  UOPS_ISSUED_ANY,
+  UOPS_ISSUED_STALL_CYCLES,
+  UOPS_EXECUTED_CORE_CYCLES_NONE,
+  UOPS_EXECUTED_STALL_CYCLES,
+  RESOURCE_STALLS_ANY,
+  RS_EVENTS_EMPTY_CYCLES,
+  CYCLE_ACTIVITY_STALLS_TOTAL,
+  CYCLE_ACTIVITY_CYCLES_MEM_ANY,
+  UOPS_RETIRED_ALL,
+  // --- Intel: memory subsystem ---
+  DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK,
+  DTLB_LOAD_MISSES_WALK_ACTIVE,
+  ITLB_MISSES_WALK_ACTIVE,
+  DTLB_LOAD_MISSES_STLB_HIT,
+  MEM_LOAD_RETIRED_L1_HIT,
+  MEM_LOAD_RETIRED_L2_HIT,
+  MEM_LOAD_RETIRED_L3_HIT,
+  MEM_LOAD_RETIRED_DRAM,
+  // --- AMD (Zen 3) ---
+  BP_L1_BTB_CORRECT,
+  BP_L1_TLB_FETCH_HIT,
+  DE_DIS_UOP_QUEUE_EMPTY_DI0,
+  DE_DIS_DISPATCH_TOKEN_STALLS2_RETIRE_TOKEN_STALL,
+  IC_FW32,
+  // --- model-internal (not a hardware event, still useful in tests) ---
+  CORE_CYCLES,
+  Count,
+};
+
+inline constexpr std::size_t kNumPmuEvents =
+    static_cast<std::size_t>(PmuEvent::Count);
+
+[[nodiscard]] std::string to_string(PmuEvent e);
+/// Vendor whose perf list carries this event (CORE_CYCLES: both).
+[[nodiscard]] Vendor event_vendor(PmuEvent e);
+
+using PmuSnapshot = std::array<std::uint64_t, kNumPmuEvents>;
+
+/// Difference of two snapshots (after - before), saturating at zero.
+[[nodiscard]] PmuSnapshot pmu_delta(const PmuSnapshot& before,
+                                    const PmuSnapshot& after);
+
+class Pmu final : public mem::MemEventSink {
+ public:
+  explicit Pmu(Vendor vendor) : vendor_(vendor) {}
+
+  void inc(PmuEvent e, std::uint64_t n = 1) noexcept {
+    counters_[static_cast<std::size_t>(e)] += n;
+  }
+  [[nodiscard]] std::uint64_t value(PmuEvent e) const noexcept {
+    return counters_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] PmuSnapshot snapshot() const noexcept { return counters_; }
+  void reset() noexcept { counters_.fill(0); }
+  [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
+
+  // mem::MemEventSink
+  void on_dtlb_miss_walk(int walks) override {
+    inc(PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK,
+        static_cast<std::uint64_t>(walks));
+  }
+  void on_dtlb_walk_cycles(int cycles) override {
+    inc(PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE,
+        static_cast<std::uint64_t>(cycles));
+  }
+  void on_itlb_walk_cycles(int cycles) override {
+    inc(PmuEvent::ITLB_MISSES_WALK_ACTIVE, static_cast<std::uint64_t>(cycles));
+  }
+  void on_stlb_hit() override { inc(PmuEvent::DTLB_LOAD_MISSES_STLB_HIT); }
+  void on_cache_hit(int level) override {
+    switch (level) {
+      case 1: inc(PmuEvent::MEM_LOAD_RETIRED_L1_HIT); break;
+      case 2: inc(PmuEvent::MEM_LOAD_RETIRED_L2_HIT); break;
+      case 3: inc(PmuEvent::MEM_LOAD_RETIRED_L3_HIT); break;
+      default: break;
+    }
+  }
+  void on_dram_access() override { inc(PmuEvent::MEM_LOAD_RETIRED_DRAM); }
+
+ private:
+  Vendor vendor_;
+  PmuSnapshot counters_{};
+};
+
+}  // namespace whisper::uarch

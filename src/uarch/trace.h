@@ -1,0 +1,82 @@
+// Pipeline trace: a bounded record of microarchitectural events for
+// debugging gadgets and for asserting pipeline behaviour in tests
+// ("was this instruction fetched but never retired?").
+//
+// Attach with Core::set_trace(); recording costs one branch per event when
+// detached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace whisper::uarch {
+
+enum class TraceEvent : std::uint8_t {
+  Alloc,         // entered the ROB
+  Issue,         // dispatched to an execution port
+  Complete,      // result ready
+  Retire,        // architecturally committed
+  Mispredict,    // branch resolved against its prediction
+  Resteer,       // front end redirected
+  SquashYounger, // wrong-path entries dropped (count in `seq`)
+  MachineClear,  // fault reached retirement
+  SignalRedirect,// suppressed via signal handler
+  TsxAbort,      // suppressed via transaction abort
+};
+
+[[nodiscard]] std::string to_string(TraceEvent e);
+
+struct TraceRecord {
+  std::uint64_t cycle = 0;
+  int thread = 0;
+  TraceEvent event = TraceEvent::Alloc;
+  std::uint64_t seq = 0;   // ROB sequence number (or a count, see event)
+  std::int32_t pc = -1;    // instruction index (-1 when n/a)
+  isa::Opcode op = isa::Opcode::Nop;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class PipelineTrace {
+ public:
+  explicit PipelineTrace(std::size_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  void record(TraceRecord r) {
+    if (records_.size() >= capacity_) {
+      records_[next_ % capacity_] = r;  // ring overwrite
+      ++next_;
+      wrapped_ = true;
+    } else {
+      records_.push_back(r);
+      ++next_;
+    }
+  }
+
+  /// Records in chronological order (oldest first).
+  [[nodiscard]] std::vector<TraceRecord> records() const;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool wrapped() const noexcept { return wrapped_; }
+  void clear() {
+    records_.clear();
+    next_ = 0;
+    wrapped_ = false;
+  }
+
+  /// Count events of a given kind (optionally at a specific pc).
+  [[nodiscard]] std::size_t count(TraceEvent e, std::int32_t pc = -1) const;
+
+  /// Multi-line dump.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  bool wrapped_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace whisper::uarch

@@ -1,0 +1,168 @@
+// Tests for the ToTE argmax analyzer (§4.3.1 decode) and the Fig. 2 PMU
+// toolset pipeline.
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/pmu_toolset.h"
+#include "os/machine.h"
+#include "stats/rng.h"
+
+namespace whisper::core {
+namespace {
+
+TEST(AnalyzerTest, MaxPolarityDecodesLongestValue) {
+  ArgmaxAnalyzer a(Polarity::Max);
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int tv = 0; tv < 256; ++tv)
+      a.add(tv, tv == 'S' ? 120u : 100u);
+    a.end_batch();
+  }
+  EXPECT_EQ(a.decode(), 'S');
+  EXPECT_EQ(a.votes()['S'], 5u);
+  EXPECT_EQ(a.batches(), 5u);
+}
+
+TEST(AnalyzerTest, MinPolarityDecodesShortestValue) {
+  ArgmaxAnalyzer a(Polarity::Min);
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int tv = 0; tv < 256; ++tv)
+      a.add(tv, tv == 0x7f ? 80u : 100u);
+    a.end_batch();
+  }
+  EXPECT_EQ(a.decode(), 0x7f);
+}
+
+TEST(AnalyzerTest, MajorityVoteToleratesNoisyBatches) {
+  // 2 of 7 batches vote for the wrong value; majority still wins.
+  ArgmaxAnalyzer a(Polarity::Max);
+  for (int batch = 0; batch < 7; ++batch) {
+    const int hot = batch < 2 ? 10 : 200;
+    for (int tv = 0; tv < 256; ++tv) a.add(tv, tv == hot ? 150u : 100u);
+    a.end_batch();
+  }
+  EXPECT_EQ(a.decode(), 200);
+}
+
+TEST(AnalyzerTest, NoisyToteStillDecodes) {
+  stats::Xoshiro256 rng(17);
+  ArgmaxAnalyzer a(Polarity::Max);
+  for (int batch = 0; batch < 9; ++batch) {
+    for (int tv = 0; tv < 256; ++tv) {
+      const std::uint64_t base = 100 + rng.next_below(8);  // jitter
+      a.add(tv, tv == 42 ? base + 12 : base);
+    }
+    a.end_batch();
+  }
+  EXPECT_EQ(a.decode(), 42);
+}
+
+TEST(AnalyzerTest, IgnoresInvalidSamples) {
+  ArgmaxAnalyzer a(Polarity::Max);
+  a.add(5, 0);       // failed probe
+  a.add(-1, 100);    // out of range
+  a.add(256, 100);   // out of range
+  a.end_batch();     // batch had no valid samples
+  EXPECT_EQ(a.batches(), 0u);
+  EXPECT_TRUE(a.tote_histogram().empty());
+}
+
+TEST(AnalyzerTest, HistogramAndMeansAccumulate) {
+  ArgmaxAnalyzer a(Polarity::Max);
+  a.add(1, 100);
+  a.add(1, 110);
+  a.add(2, 90);
+  a.end_batch();
+  EXPECT_EQ(a.tote_histogram().total(), 3u);
+  const auto means = a.mean_tote_by_value();
+  EXPECT_DOUBLE_EQ(means[1], 105.0);
+  EXPECT_DOUBLE_EQ(means[2], 90.0);
+  EXPECT_DOUBLE_EQ(means[3], 0.0);
+}
+
+TEST(AnalyzerTest, ResetClearsEverything) {
+  ArgmaxAnalyzer a(Polarity::Max);
+  a.add(7, 100);
+  a.end_batch();
+  a.reset();
+  EXPECT_EQ(a.batches(), 0u);
+  EXPECT_EQ(a.votes()[7], 0u);
+  EXPECT_TRUE(a.tote_histogram().empty());
+}
+
+TEST(PmuToolsetTest, CatalogFiltersByVendor) {
+  os::Machine intel({.model = uarch::CpuModel::KabyLakeI7_7700});
+  os::Machine amd({.model = uarch::CpuModel::Zen3Ryzen5_5600G});
+  PmuToolset ti(intel), ta(amd);
+  for (auto e : ti.catalog())
+    EXPECT_NE(event_vendor(e), uarch::Vendor::Amd) << uarch::to_string(e);
+  bool has_amd_event = false;
+  for (auto e : ta.catalog())
+    if (e == uarch::PmuEvent::IC_FW32) has_amd_event = true;
+  EXPECT_TRUE(has_amd_event);
+}
+
+TEST(PmuToolsetTest, DifferentialFilterFindsBranchMispredictEvents) {
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+  PmuToolset ts(m);
+  const auto records =
+      ts.collect(scenario_tet_cc(false), scenario_tet_cc(true), 3);
+  const auto significant = PmuToolset::filter_significant(records, 0.05, 1.0);
+
+  auto find = [&](uarch::PmuEvent e) -> const EventRecord* {
+    for (const auto& r : significant)
+      if (r.event == e) return &r;
+    return nullptr;
+  };
+  // The Table 3 headline events must survive the filter with the right sign.
+  const EventRecord* misp = find(uarch::PmuEvent::BR_MISP_EXEC_ALL_BRANCHES);
+  ASSERT_NE(misp, nullptr);
+  EXPECT_GT(misp->delta(), 0.0);
+  const EventRecord* resteer =
+      find(uarch::PmuEvent::INT_MISC_CLEAR_RESTEER_CYCLES);
+  ASSERT_NE(resteer, nullptr);
+  EXPECT_GT(resteer->delta(), 0.0);
+}
+
+TEST(PmuToolsetTest, TrueNegativeMemAnyIsFilteredOut) {
+  // §5.2.1: CYCLE_ACTIVITY.CYCLES_MEM_ANY must NOT separate the scenarios.
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+  PmuToolset ts(m);
+  // Warm caches/TLBs: the paper's measurement rides a warm attack loop.
+  scenario_tet_md(false)(m);
+  scenario_tet_md(true)(m);
+  const auto r = ts.measure(uarch::PmuEvent::CYCLE_ACTIVITY_CYCLES_MEM_ANY,
+                            scenario_tet_md(false), scenario_tet_md(true));
+  EXPECT_LT(std::abs(r.rel_delta()), 0.15)
+      << "memory-stall cycles should be a true negative";
+}
+
+TEST(PmuToolsetTest, KaslrScenarioShowsWalkEvents) {
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE});
+  PmuToolset ts(m);
+  const auto walks =
+      ts.measure(uarch::PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK,
+                 scenario_kaslr(true), scenario_kaslr(false));
+  // Table 3 bottom: unmapped = 2 walks, mapped = fewer (the fill makes the
+  // later probes hit).
+  EXPECT_GT(walks.variant, walks.baseline);
+  const auto active =
+      ts.measure(uarch::PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE,
+                 scenario_kaslr(true), scenario_kaslr(false));
+  EXPECT_GT(active.variant, active.baseline);
+}
+
+TEST(PmuToolsetTest, ReportFormatsRows) {
+  std::vector<EventRecord> recs = {
+      {uarch::PmuEvent::UOPS_ISSUED_ANY, 334, 319},
+      {uarch::PmuEvent::RESOURCE_STALLS_ANY, 15, 21},
+  };
+  const std::string rep =
+      PmuToolset::report(recs, "Table 3 scene", "not trig", "trig");
+  EXPECT_NE(rep.find("UOPS_ISSUED.ANY"), std::string::npos);
+  EXPECT_NE(rep.find("RESOURCE_STALLS.ANY"), std::string::npos);
+  EXPECT_NE(rep.find("Table 3 scene"), std::string::npos);
+  EXPECT_NE(rep.find("+6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace whisper::core

@@ -1,0 +1,91 @@
+// AVX power-gating model and the AVX-timing KASLR baseline (§2.1/§6.1).
+#include <gtest/gtest.h>
+
+#include "baseline/avx_kaslr.h"
+#include "core/attacks/kaslr.h"
+#include "isa/builder.h"
+#include "os/machine.h"
+
+namespace whisper {
+namespace {
+
+using isa::ProgramBuilder;
+using isa::Reg;
+
+std::uint64_t timed_avx(os::Machine& m) {
+  ProgramBuilder b;
+  b.rdtsc(Reg::R8).lfence().avx().lfence().rdtsc(Reg::R9).halt();
+  const auto r = m.run_user(b.build());
+  return r.t0().tsc.at(1) - r.t0().tsc.at(0);
+}
+
+TEST(AvxPowerGatingTest, ColdOpPaysPowerUpWarmOpDoesNot) {
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE});
+  const std::uint64_t cold = timed_avx(m);
+  const std::uint64_t warm = timed_avx(m);  // within the warm window
+  EXPECT_GT(cold, warm + static_cast<std::uint64_t>(
+                             m.config().avx_power_up_cycles) / 2);
+}
+
+TEST(AvxPowerGatingTest, UnitPowersDownAfterWarmWindow) {
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE});
+  (void)timed_avx(m);
+  const std::uint64_t warm = timed_avx(m);
+  m.advance_time(static_cast<std::uint64_t>(m.config().avx_warm_cycles) + 1);
+  const std::uint64_t recold = timed_avx(m);
+  EXPECT_GT(recold, warm + 100);
+}
+
+TEST(AvxPowerGatingTest, GatingOffRemovesTheTimingDifference) {
+  uarch::CpuConfig cfg = uarch::make_config(uarch::CpuModel::CometLakeI9_10980XE);
+  cfg.avx_power_gating = false;
+  os::Machine m({.model = cfg.model, .config = cfg});
+  const std::uint64_t first = timed_avx(m);
+  const std::uint64_t second = timed_avx(m);
+  EXPECT_NEAR(static_cast<double>(first), static_cast<double>(second), 4.0);
+}
+
+TEST(AvxPowerGatingTest, TransientAvxWarmsPersistently) {
+  // The side effect of a squashed AVX op survives — the transmitter of the
+  // AVX-timing channel (and the analogue of a transient cache fill).
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE});
+  m.advance_time(static_cast<std::uint64_t>(m.config().avx_warm_cycles) + 1);
+
+  ProgramBuilder b;
+  b.mov(Reg::RCX, 0)
+      .load(Reg::RAX, Reg::RCX)  // faults: everything below is transient
+      .avx()
+      .label("handler")
+      .halt();
+  const auto p = b.build();
+  (void)m.run_user(p, {}, p.label("handler"));
+
+  EXPECT_LT(timed_avx(m), 60u) << "the transiently-warmed unit must be hot";
+}
+
+TEST(AvxKaslrBaseline, BreaksKaslrWithGatingOn) {
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE, .seed = 5});
+  baseline::AvxKaslr atk(m);
+  const auto r = atk.run();
+  EXPECT_TRUE(r.success) << "found " << r.found_slot << " true "
+                         << m.kernel().slot();
+}
+
+TEST(AvxKaslrBaseline, MitigatedByRemovingAvxTimingButTetSurvives) {
+  // §6.1: replacing/fixing AVX timing stops the AVX probe — not TET.
+  uarch::CpuConfig cfg = uarch::make_config(uarch::CpuModel::CometLakeI9_10980XE);
+  cfg.avx_power_gating = false;
+  {
+    os::Machine m({.model = cfg.model, .seed = 6, .config = cfg});
+    baseline::AvxKaslr atk(m);
+    EXPECT_FALSE(atk.run().success);
+  }
+  {
+    os::Machine m({.model = cfg.model, .seed = 6, .config = cfg});
+    core::TetKaslr atk(m, {.rounds = 2});
+    EXPECT_TRUE(atk.run().success);
+  }
+}
+
+}  // namespace
+}  // namespace whisper

@@ -1,0 +1,188 @@
+// Unit tests for the branch predictor and the PMU event plumbing.
+#include <gtest/gtest.h>
+
+#include "uarch/branch_predictor.h"
+#include "uarch/pmu.h"
+
+namespace whisper::uarch {
+namespace {
+
+CpuConfig test_cfg() { return make_config(CpuModel::KabyLakeI7_7700); }
+
+TEST(BranchPredictorTest, ColdBranchPredictsNotTaken) {
+  BranchPredictor bpu(test_cfg());
+  EXPECT_FALSE(bpu.predict_cond(10, 20).taken);
+}
+
+TEST(BranchPredictorTest, LearnsTakenAfterTwoUpdates) {
+  BranchPredictor bpu(test_cfg());
+  bpu.update_cond(10, true);
+  bpu.update_cond(10, true);
+  // Note gshare history: query with the same history state.
+  // After two taken updates from the same context the counter saturates up.
+  BranchPrediction p = bpu.predict_cond(10, 20);
+  // History changed between updates; accept either, but after many updates
+  // with a stable pattern prediction must settle to taken.
+  for (int i = 0; i < 64; ++i) bpu.update_cond(10, true);
+  p = bpu.predict_cond(10, 20);
+  EXPECT_TRUE(p.taken);
+}
+
+TEST(BranchPredictorTest, RareTakenStaysNotTaken) {
+  // The TET gadget's training pattern: 255 not-taken per 1 taken.
+  BranchPredictor bpu(test_cfg());
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 255; ++i) bpu.update_cond(10, false);
+    bpu.update_cond(10, true);
+  }
+  int predicted_taken = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (bpu.predict_cond(10, 20).taken) ++predicted_taken;
+    bpu.update_cond(10, false);
+  }
+  EXPECT_LT(predicted_taken, 10);
+}
+
+TEST(BranchPredictorTest, RsbLifoOrder) {
+  BranchPredictor bpu(test_cfg());
+  bpu.rsb_push(100);
+  bpu.rsb_push(200);
+  EXPECT_EQ(bpu.predict_ret().target, 200);
+  EXPECT_EQ(bpu.predict_ret().target, 100);
+  // Empty RSB: no prediction.
+  const BranchPrediction p = bpu.predict_ret();
+  EXPECT_EQ(p.target, -1);
+  EXPECT_FALSE(p.taken);
+}
+
+TEST(BranchPredictorTest, RsbWrapsAtCapacity) {
+  CpuConfig cfg = test_cfg();
+  cfg.rsb_entries = 4;
+  BranchPredictor bpu(cfg);
+  for (int i = 1; i <= 6; ++i) bpu.rsb_push(i * 10);
+  // Entries 10,20 were overwritten by 50,60.
+  EXPECT_EQ(bpu.predict_ret().target, 60);
+  EXPECT_EQ(bpu.predict_ret().target, 50);
+  EXPECT_EQ(bpu.predict_ret().target, 40);
+  EXPECT_EQ(bpu.predict_ret().target, 30);
+  EXPECT_EQ(bpu.predict_ret().target, -1);
+}
+
+TEST(BranchPredictorTest, RsbDisabledGivesNoPrediction) {
+  CpuConfig cfg = test_cfg();
+  cfg.rsb_speculates = false;
+  BranchPredictor bpu(cfg);
+  bpu.rsb_push(100);
+  EXPECT_EQ(bpu.predict_ret().target, -1);
+}
+
+TEST(BranchPredictorTest, BtbRecordsTargets) {
+  BranchPredictor bpu(test_cfg());
+  EXPECT_FALSE(bpu.btb_hit(5, 42));
+  bpu.btb_record(5, 42);
+  EXPECT_TRUE(bpu.btb_hit(5, 42));
+  EXPECT_FALSE(bpu.btb_hit(5, 43));
+}
+
+TEST(BranchPredictorTest, ResetForgetsEverything) {
+  BranchPredictor bpu(test_cfg());
+  for (int i = 0; i < 10; ++i) bpu.update_cond(7, true);
+  bpu.rsb_push(123);
+  bpu.reset();
+  EXPECT_FALSE(bpu.predict_cond(7, 9).taken);
+  EXPECT_EQ(bpu.predict_ret().target, -1);
+}
+
+TEST(PmuTest, EveryEventHasAUniqueName) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumPmuEvents; ++i) {
+    const std::string n = to_string(static_cast<PmuEvent>(i));
+    EXPECT_NE(n, "unknown_event") << "event " << i;
+    EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+  }
+}
+
+TEST(PmuTest, VendorTaggingMatchesPaperTables) {
+  EXPECT_EQ(event_vendor(PmuEvent::BR_MISP_EXEC_INDIRECT), Vendor::Intel);
+  EXPECT_EQ(event_vendor(PmuEvent::IDQ_DSB_UOPS), Vendor::Intel);
+  EXPECT_EQ(event_vendor(PmuEvent::BP_L1_BTB_CORRECT), Vendor::Amd);
+  EXPECT_EQ(event_vendor(PmuEvent::IC_FW32), Vendor::Amd);
+}
+
+TEST(PmuTest, SnapshotDeltaSemantics) {
+  Pmu pmu(Vendor::Intel);
+  pmu.inc(PmuEvent::UOPS_ISSUED_ANY, 10);
+  const PmuSnapshot a = pmu.snapshot();
+  pmu.inc(PmuEvent::UOPS_ISSUED_ANY, 5);
+  pmu.inc(PmuEvent::MACHINE_CLEARS_COUNT);
+  const PmuSnapshot b = pmu.snapshot();
+  const PmuSnapshot d = pmu_delta(a, b);
+  EXPECT_EQ(d[static_cast<std::size_t>(PmuEvent::UOPS_ISSUED_ANY)], 5u);
+  EXPECT_EQ(d[static_cast<std::size_t>(PmuEvent::MACHINE_CLEARS_COUNT)], 1u);
+  EXPECT_EQ(d[static_cast<std::size_t>(PmuEvent::CORE_CYCLES)], 0u);
+}
+
+TEST(PmuTest, ResetZeroesCounters) {
+  Pmu pmu(Vendor::Amd);
+  pmu.inc(PmuEvent::IC_FW32, 100);
+  pmu.reset();
+  EXPECT_EQ(pmu.value(PmuEvent::IC_FW32), 0u);
+}
+
+TEST(PmuTest, MemEventSinkMapsToNamedEvents) {
+  Pmu pmu(Vendor::Intel);
+  pmu.on_dtlb_miss_walk(2);
+  pmu.on_dtlb_walk_cycles(62);
+  pmu.on_itlb_walk_cycles(19);
+  pmu.on_stlb_hit();
+  pmu.on_cache_hit(1);
+  pmu.on_cache_hit(3);
+  pmu.on_dram_access();
+  EXPECT_EQ(pmu.value(PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK), 2u);
+  EXPECT_EQ(pmu.value(PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE), 62u);
+  EXPECT_EQ(pmu.value(PmuEvent::ITLB_MISSES_WALK_ACTIVE), 19u);
+  EXPECT_EQ(pmu.value(PmuEvent::DTLB_LOAD_MISSES_STLB_HIT), 1u);
+  EXPECT_EQ(pmu.value(PmuEvent::MEM_LOAD_RETIRED_L1_HIT), 1u);
+  EXPECT_EQ(pmu.value(PmuEvent::MEM_LOAD_RETIRED_L3_HIT), 1u);
+  EXPECT_EQ(pmu.value(PmuEvent::MEM_LOAD_RETIRED_DRAM), 1u);
+}
+
+TEST(ConfigTest, Table2ModelPresets) {
+  // The vulnerability flags must reproduce the Table 2 check pattern.
+  const CpuConfig skl = make_config(CpuModel::SkylakeI7_6700);
+  EXPECT_TRUE(skl.meltdown_vulnerable());
+  EXPECT_TRUE(skl.mds_vulnerable());
+  EXPECT_TRUE(skl.tlb_fills_on_fault());
+  EXPECT_TRUE(skl.has_tsx);
+
+  const CpuConfig cml = make_config(CpuModel::CometLakeI9_10980XE);
+  EXPECT_FALSE(cml.meltdown_vulnerable());
+  EXPECT_FALSE(cml.mds_vulnerable());
+  EXPECT_TRUE(cml.tlb_fills_on_fault());
+
+  const CpuConfig rpl = make_config(CpuModel::RaptorLakeI9_13900K);
+  EXPECT_FALSE(rpl.meltdown_vulnerable());
+  EXPECT_TRUE(rpl.rsb_speculates);
+  EXPECT_FALSE(rpl.has_tsx);
+
+  const CpuConfig zen = make_config(CpuModel::Zen3Ryzen5_5600G);
+  EXPECT_EQ(zen.vendor, Vendor::Amd);
+  EXPECT_FALSE(zen.tlb_fills_on_fault());
+  EXPECT_EQ(zen.mem.not_present_replays, 1);
+}
+
+TEST(ConfigTest, AllModelsAreDistinctAndNamed) {
+  std::set<std::string> names;
+  for (CpuModel m : all_models()) {
+    const CpuConfig c = make_config(m);
+    EXPECT_TRUE(names.insert(c.name).second);
+    EXPECT_GT(c.ghz, 0.0);
+    EXPECT_GT(c.rob_size, 0);
+    EXPECT_FALSE(c.uarch_name.empty());
+    EXPECT_FALSE(c.microcode.empty());
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace whisper::uarch

@@ -1,0 +1,297 @@
+// Differential testing: the out-of-order core must commit exactly what the
+// sequential reference interpreter computes, for arbitrary programs. A
+// seeded generator produces random (terminating) programs; both engines run
+// them; architectural registers and memory must agree.
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/interpreter.h"
+#include "os/machine.h"
+#include "stats/rng.h"
+
+namespace whisper {
+namespace {
+
+using isa::Cond;
+using isa::ProgramBuilder;
+using isa::Reg;
+
+// Registers the generator plays with (avoids RSP, which the Machine
+// initialises, and R8/R9, reserved for rdtsc in other tests).
+constexpr Reg kPool[] = {Reg::RAX, Reg::RBX, Reg::RCX, Reg::RDX,
+                         Reg::RSI, Reg::RDI, Reg::R10, Reg::R11,
+                         Reg::R12, Reg::R13};
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  /// Generate a terminating program: straight-line blocks with forward-only
+  /// control flow, memory traffic confined to the data window, and a few
+  /// call/ret pairs.
+  isa::Program generate(int length) {
+    ProgramBuilder b;
+    int label_id = 0;
+    std::vector<std::string> pending;  // forward labels not yet placed
+
+    // Pin the memory base so loads/stores stay in the mapped data region.
+    b.mov(Reg::R14, static_cast<std::int64_t>(os::Machine::kDataBase));
+
+    for (int i = 0; i < length; ++i) {
+      // Place a pending forward label with some probability.
+      if (!pending.empty() && rng_.next_bool(0.35)) {
+        b.label(pending.back());
+        pending.pop_back();
+      }
+      emit_random(b, pending, label_id);
+    }
+    // Close all remaining forward labels, then stop.
+    while (!pending.empty()) {
+      b.label(pending.back());
+      pending.pop_back();
+    }
+    b.halt();
+    return b.build();
+  }
+
+  std::array<std::uint64_t, isa::kNumRegs> random_regs() {
+    std::array<std::uint64_t, isa::kNumRegs> regs{};
+    for (Reg r : kPool)
+      regs[static_cast<std::size_t>(r)] = rng_.next();
+    return regs;
+  }
+
+ private:
+  Reg pick() {
+    return kPool[rng_.next_below(std::size(kPool))];
+  }
+  std::int64_t small_imm() {
+    return static_cast<std::int64_t>(rng_.next_in(-128, 127));
+  }
+  /// Offset within the mapped data region (R14-relative, 8-byte aligned).
+  std::int64_t mem_disp() {
+    return static_cast<std::int64_t>(rng_.next_below(0x1000)) * 8;
+  }
+
+  void emit_random(ProgramBuilder& b, std::vector<std::string>& pending,
+                   int& label_id) {
+    switch (rng_.next_below(18)) {
+      case 0: b.mov(pick(), small_imm()); break;
+      case 1: b.mov(pick(), pick()); break;
+      case 2: b.add(pick(), small_imm()); break;
+      case 3: b.add(pick(), pick()); break;
+      case 4: b.sub(pick(), pick()); break;
+      case 5: b.xor_(pick(), pick()); break;
+      case 6: b.and_(pick(), small_imm()); break;
+      case 7: b.shl(pick(), static_cast<std::int64_t>(rng_.next_below(8)));
+              break;
+      case 8: b.imul(pick(), pick()); break;
+      case 9: b.neg(pick()); break;
+      case 10: b.not_(pick()); break;
+      case 11: b.cmp(pick(), pick()); break;
+      case 12: {  // cmov after a fresh cmp so flags are deterministic
+        b.cmp(pick(), small_imm());
+        b.cmov(static_cast<Cond>(rng_.next_below(8)), pick(), pick());
+        break;
+      }
+      case 13: b.store(Reg::R14, pick(), mem_disp()); break;
+      case 14: b.load(pick(), Reg::R14, mem_disp()); break;
+      case 15: b.store_byte(Reg::R14, pick(), mem_disp()); break;
+      case 16: b.load_byte(pick(), Reg::R14, mem_disp()); break;
+      case 17: {  // forward conditional branch
+        b.cmp(pick(), small_imm());
+        std::string l = "L" + std::to_string(label_id++);
+        b.jcc(static_cast<Cond>(rng_.next_below(8)), l);
+        pending.push_back(std::move(l));
+        break;
+      }
+    }
+  }
+
+  stats::Xoshiro256 rng_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, CoreMatchesReferenceInterpreter) {
+  ProgramGenerator gen(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const isa::Program prog = gen.generate(60);
+    const auto init = gen.random_regs();
+
+    // Reference execution against a flat memory image.
+    isa::RefMemory ref_mem;
+    const auto ref = isa::interpret(prog, init, ref_mem, 50'000);
+    ASSERT_NE(ref.status, isa::InterpStatus::StepLimit);
+    ASSERT_NE(ref.status, isa::InterpStatus::Faulted);
+
+    // Pipeline execution on a fresh machine.
+    os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+    const auto run = m.run_user(prog, init, -1, 400'000);
+    ASSERT_FALSE(run.cycle_limit_hit);
+
+    for (Reg r : kPool) {
+      EXPECT_EQ(run.t0().regs[static_cast<std::size_t>(r)],
+                ref.regs[static_cast<std::size_t>(r)])
+          << "register " << isa::to_string(r) << " diverged (seed "
+          << GetParam() << " round " << round << ")\n"
+          << prog.disassemble();
+    }
+    // Every byte the reference wrote must match the machine's memory.
+    bool mem_ok = true;
+    ref_mem.for_each([&](std::uint64_t addr, std::uint8_t value) {
+      if (m.peek8(addr) != value) mem_ok = false;
+    });
+    EXPECT_TRUE(mem_ok) << "memory diverged (seed " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, DifferentialTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
+                                           13ull, 21ull, 34ull, 55ull,
+                                           89ull));
+
+// Hand-written loop programs (the generator is forward-only; loops deserve
+// explicit differential coverage).
+TEST(DifferentialLoopTest, CountedLoopsAgree) {
+  for (int trip : {1, 7, 63, 200}) {
+    ProgramBuilder b;
+    b.mov(Reg::RAX, 0).mov(Reg::RBX, 0);
+    b.label("loop");
+    b.add(Reg::RAX, 3);
+    b.imul(Reg::RAX, Reg::RAX);  // nonlinear accumulator
+    b.and_(Reg::RAX, 0xffff);
+    b.add(Reg::RBX, 1);
+    b.cmp(Reg::RBX, trip);
+    b.jcc(Cond::NZ, "loop");
+    b.halt();
+    const isa::Program prog = b.build();
+
+    isa::RefMemory ref_mem;
+    const auto ref = isa::interpret(prog, {}, ref_mem);
+    os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+    const auto run = m.run_user(prog, {}, -1, 1'000'000);
+    EXPECT_EQ(run.t0().regs[static_cast<std::size_t>(Reg::RAX)],
+              ref.regs[static_cast<std::size_t>(Reg::RAX)])
+        << "trip count " << trip;
+  }
+}
+
+TEST(DifferentialLoopTest, NestedCallsAgree) {
+  ProgramBuilder b;
+  b.mov(Reg::RAX, 1).call("f1").halt();
+  b.label("f1").shl(Reg::RAX, 1).call("f2").add(Reg::RAX, 1).ret();
+  b.label("f2").shl(Reg::RAX, 2).add(Reg::RAX, 5).ret();
+  const isa::Program prog = b.build();
+
+  isa::RefMemory ref_mem;
+  std::array<std::uint64_t, isa::kNumRegs> init{};
+  init[static_cast<std::size_t>(Reg::RSP)] = os::Machine::kStackTop;
+  const auto ref = isa::interpret(prog, init, ref_mem);
+
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+  const auto run = m.run_user(prog, {}, -1, 100'000);
+  EXPECT_EQ(run.t0().regs[static_cast<std::size_t>(Reg::RAX)],
+            ref.regs[static_cast<std::size_t>(Reg::RAX)]);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-semantics differential: programs with occasional faulting loads.
+// Nothing younger than the fault may commit; the architectural state the
+// pipeline delivers to the signal handler must equal the interpreter's
+// state at the fault point.
+// ---------------------------------------------------------------------------
+
+class FaultDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FaultDifferentialTest, HandlerStateMatchesInterpreterFaultState) {
+  stats::Xoshiro256 rng(GetParam() ^ 0xfa17);
+  for (int round = 0; round < 4; ++round) {
+    // Straight-line ALU program with a faulting load at a random position
+    // and a tail that must never commit.
+    ProgramBuilder b;
+    const int prefix = static_cast<int>(rng.next_below(20)) + 2;
+    for (int i = 0; i < prefix; ++i) {
+      const Reg r = kPool[rng.next_below(std::size(kPool))];
+      switch (rng.next_below(3)) {
+        case 0: b.add(r, static_cast<std::int64_t>(rng.next_below(99))); break;
+        case 1: b.not_(r); break;
+        default: b.shl(r, 1); break;
+      }
+    }
+    b.mov(Reg::R15, 0);
+    b.load(Reg::RAX, Reg::R15);  // faulting: null deref
+    const int suffix = static_cast<int>(rng.next_below(10)) + 1;
+    for (int i = 0; i < suffix; ++i)
+      b.add(kPool[rng.next_below(std::size(kPool))], 1);  // transient only
+    b.label("handler").halt();
+    const isa::Program prog = b.build();
+    const auto init = [&] {
+      std::array<std::uint64_t, isa::kNumRegs> regs{};
+      for (Reg r : kPool)
+        regs[static_cast<std::size_t>(r)] = rng.next_below(1000);
+      return regs;
+    }();
+
+    isa::RefMemory ref_mem;
+    const auto ref =
+        isa::interpret(prog, init, ref_mem, 50'000, /*fault_below=*/0x1000);
+    ASSERT_EQ(ref.status, isa::InterpStatus::Faulted);
+    ASSERT_EQ(ref.fault_pc, prefix + 1);
+
+    os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+    const auto run = m.run_user(prog, init, prog.label("handler"), 400'000);
+    ASSERT_TRUE(run.t0().halted);
+    ASSERT_FALSE(run.t0().killed_by_fault);
+
+    for (Reg r : kPool) {
+      EXPECT_EQ(run.t0().regs[static_cast<std::size_t>(r)],
+                ref.regs[static_cast<std::size_t>(r)])
+          << "register " << isa::to_string(r)
+          << " diverged at the fault boundary (seed " << GetParam()
+          << " round " << round << ")\n"
+          << prog.disassemble();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultingPrograms, FaultDifferentialTest,
+                         ::testing::Values(7ull, 77ull, 777ull, 7777ull));
+
+TEST(InterpreterTest, StatusReporting) {
+  {
+    ProgramBuilder b;
+    b.nop().halt();
+    isa::RefMemory mem;
+    EXPECT_EQ(isa::interpret(b.build(), {}, mem).status,
+              isa::InterpStatus::Halted);
+  }
+  {
+    ProgramBuilder b;
+    b.nop(3);  // no halt
+    isa::RefMemory mem;
+    EXPECT_EQ(isa::interpret(b.build(), {}, mem).status,
+              isa::InterpStatus::RanOffEnd);
+  }
+  {
+    ProgramBuilder b;
+    b.label("x").jmp("x");
+    isa::RefMemory mem;
+    EXPECT_EQ(isa::interpret(b.build(), {}, mem, 100).status,
+              isa::InterpStatus::StepLimit);
+  }
+  {
+    ProgramBuilder b;
+    b.mov(Reg::RCX, 0x10).load(Reg::RAX, Reg::RCX).halt();
+    isa::RefMemory mem;
+    const auto r = isa::interpret(b.build(), {}, mem, 100, /*fault_below=*/
+                                  0x1000);
+    EXPECT_EQ(r.status, isa::InterpStatus::Faulted);
+    EXPECT_EQ(r.fault_addr, 0x10u);
+    EXPECT_EQ(r.fault_pc, 1);
+  }
+}
+
+}  // namespace
+}  // namespace whisper

@@ -1,0 +1,138 @@
+// Listing-correspondence tests: the generated gadget programs must contain
+// the paper's instruction sequences (Fig. 1a, Listing 1, Listing 2) — a
+// structural check that the translations stay faithful as the builders
+// evolve.
+#include <gtest/gtest.h>
+
+#include "core/gadgets.h"
+
+namespace whisper::core {
+namespace {
+
+using isa::Opcode;
+
+int count_op(const isa::Program& p, Opcode op) {
+  int n = 0;
+  for (const auto& in : p.code())
+    if (in.op == op) ++n;
+  return n;
+}
+
+/// Index of the first instruction with opcode `op`, or -1.
+int first_op(const isa::Program& p, Opcode op) {
+  for (std::size_t i = 0; i < p.size(); ++i)
+    if (p.at(i).op == op) return static_cast<int>(i);
+  return -1;
+}
+
+TEST(GadgetListings, Fig1aShape) {
+  const GadgetProgram g = make_tet_gadget(
+      {.window = WindowKind::Tsx, .source = SecretSource::SharedMemory});
+  const auto& p = g.prog;
+  // rdtsc pair around the block.
+  EXPECT_EQ(count_op(p, Opcode::Rdtsc), 2);
+  // transient_begin / transient_end as a TSX transaction (Fig. 1a lines 1/4).
+  EXPECT_EQ(count_op(p, Opcode::TsxBegin), 1);
+  EXPECT_EQ(count_op(p, Opcode::TsxEnd), 1);
+  // The faulting load precedes the comparison and the Jcc (lines 2-3).
+  const int fault_load = first_op(p, Opcode::LoadByte);
+  const int cmp = first_op(p, Opcode::CmpRR);
+  const int jcc = first_op(p, Opcode::Jcc);
+  ASSERT_GE(fault_load, 0);
+  ASSERT_GE(cmp, 0);
+  ASSERT_GE(jcc, 0);
+  EXPECT_LT(fault_load, cmp);
+  EXPECT_LT(cmp, jcc);
+  // Signal-window variant swaps TSX for a fence.
+  const GadgetProgram sig = make_tet_gadget(
+      {.window = WindowKind::Signal, .source = SecretSource::SharedMemory});
+  EXPECT_EQ(count_op(sig.prog, Opcode::TsxBegin), 0);
+  EXPECT_GE(sig.signal_handler, 0);
+}
+
+TEST(GadgetListings, Listing1RsbShape) {
+  const GadgetProgram g = make_rsb_gadget();
+  const auto& p = g.prog;
+  // call 1f (line 4)
+  EXPECT_EQ(count_op(p, Opcode::Call), 1);
+  // movabs $2f / mov to (%rsp) / clflush (%rsp) / retq (lines 8-11), in order.
+  const int call = first_op(p, Opcode::Call);
+  const int store = first_op(p, Opcode::Store);
+  const int clflush = first_op(p, Opcode::Clflush);
+  const int ret = first_op(p, Opcode::Ret);
+  ASSERT_GE(store, 0);
+  ASSERT_GE(clflush, 0);
+  ASSERT_GE(ret, 0);
+  EXPECT_LT(store, clflush);
+  EXPECT_LT(clflush, ret);
+  // The speculated return site (line 5) sits right after the call and
+  // carries the secret-dependent compare + Jcc.
+  EXPECT_EQ(p.at(static_cast<std::size_t>(call) + 1).op, Opcode::LoadByte);
+  EXPECT_EQ(count_op(p, Opcode::Jcc), 1);
+  // The overwritten return address is materialised as an immediate whose
+  // value is the landing label (the movabs of line 8).
+  bool found_mov_label = false;
+  for (const auto& in : p.code())
+    if (in.op == Opcode::MovRI && in.imm == p.label("landing"))
+      found_mov_label = true;
+  EXPECT_TRUE(found_mov_label);
+}
+
+TEST(GadgetListings, Listing2KaslrShape) {
+  const GadgetProgram g = make_kaslr_gadget(WindowKind::Tsx);
+  const auto& p = g.prog;
+  // mfence lead-in (Listing 2 line 1).
+  EXPECT_EQ(p.at(0).op, Opcode::Mfence);
+  // The probe access (line 2) is a 64-bit load from RCX.
+  const int probe = first_op(p, Opcode::Load);
+  ASSERT_GE(probe, 0);
+  EXPECT_EQ(p.at(static_cast<std::size_t>(probe)).base, isa::Reg::RCX);
+  // The attacker-driven jz (line 4) with both landing pads ("1:"/"2:").
+  EXPECT_EQ(count_op(p, Opcode::Jcc), 1);
+  EXPECT_TRUE(p.has_label("khit"));
+  EXPECT_TRUE(p.has_label("kjoin"));
+}
+
+TEST(GadgetListings, BranchlessVariantHasNoConditionalBranch) {
+  const GadgetProgram g = make_tet_gadget_branchless(WindowKind::Tsx);
+  EXPECT_EQ(count_op(g.prog, Opcode::Jcc), 0);
+  EXPECT_EQ(count_op(g.prog, Opcode::Cmov), 1);
+}
+
+TEST(GadgetListings, SpectreV1ShapeHasBoundsCheckBeforeAccess) {
+  const GadgetProgram g = make_spectre_v1_gadget();
+  const auto& p = g.prog;
+  const int bound_load = first_op(p, Opcode::Load);   // array_length
+  const int jcc = first_op(p, Opcode::Jcc);           // bounds check
+  const int access = first_op(p, Opcode::LoadByte);   // the OOB access
+  ASSERT_GE(bound_load, 0);
+  ASSERT_GE(jcc, 0);
+  ASSERT_GE(access, 0);
+  EXPECT_LT(bound_load, jcc);
+  EXPECT_LT(jcc, access) << "the secret access must be control-dependent "
+                            "on the bounds check";
+  EXPECT_EQ(count_op(p, Opcode::Clflush), 1);  // the flushed bound
+}
+
+TEST(GadgetListings, EveryGadgetEndsInHaltAndValidates) {
+  const GadgetProgram gadgets[] = {
+      make_tet_gadget({}),
+      make_tet_gadget_branchless(WindowKind::Signal),
+      make_rsb_gadget(),
+      make_kaslr_gadget(WindowKind::Signal),
+      make_spectre_v1_gadget(),
+      make_prefetch_probe(),
+      make_timed_load(),
+      make_meltdown_fr_gadget(WindowKind::Tsx),
+      make_smt_trojan(true),
+      make_smt_trojan(false),
+  };
+  for (const auto& g : gadgets) {
+    EXPECT_NO_THROW(g.prog.validate());
+    EXPECT_EQ(g.prog.at(g.prog.size() - 1).op, Opcode::Halt);
+    EXPECT_GE(g.signal_handler, 0);
+  }
+}
+
+}  // namespace
+}  // namespace whisper::core

@@ -1,0 +1,165 @@
+// Unit tests for whisper::isa — instruction metadata, the program builder's
+// label resolution, validation, and disassembly.
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/isa.h"
+#include "isa/program.h"
+
+namespace whisper::isa {
+namespace {
+
+TEST(Isa, CondEvaluation) {
+  Flags f;
+  f.zf = true;
+  EXPECT_TRUE(eval_cond(Cond::Z, f));
+  EXPECT_FALSE(eval_cond(Cond::NZ, f));
+  f.zf = false;
+  f.cf = true;
+  EXPECT_TRUE(eval_cond(Cond::C, f));
+  EXPECT_FALSE(eval_cond(Cond::NC, f));
+  f.cf = false;
+  f.sf = true;
+  EXPECT_TRUE(eval_cond(Cond::S, f));
+  f.sf = false;
+  f.of = true;
+  EXPECT_TRUE(eval_cond(Cond::O, f));
+  EXPECT_FALSE(eval_cond(Cond::NO, f));
+}
+
+TEST(Isa, InstructionClassPredicates) {
+  Instruction jcc{.op = Opcode::Jcc};
+  EXPECT_TRUE(jcc.is_branch());
+  EXPECT_TRUE(jcc.is_cond_branch());
+  EXPECT_TRUE(jcc.reads_flags());
+  EXPECT_FALSE(jcc.writes_flags());
+
+  Instruction ret{.op = Opcode::Ret};
+  EXPECT_TRUE(ret.is_branch());
+  EXPECT_TRUE(ret.is_load());   // pops the return address
+  EXPECT_TRUE(ret.is_mem());
+
+  Instruction call{.op = Opcode::Call};
+  EXPECT_TRUE(call.is_store());  // pushes the return address
+
+  Instruction cmp{.op = Opcode::CmpRI};
+  EXPECT_TRUE(cmp.writes_flags());
+  EXPECT_FALSE(cmp.is_mem());
+
+  Instruction lf{.op = Opcode::Lfence};
+  EXPECT_TRUE(lf.is_fence());
+}
+
+TEST(Isa, UopCounts) {
+  EXPECT_EQ(Instruction{.op = Opcode::Nop}.uops(), 1);
+  EXPECT_EQ(Instruction{.op = Opcode::Call}.uops(), 2);
+  EXPECT_EQ(Instruction{.op = Opcode::Ret}.uops(), 2);
+  EXPECT_EQ(Instruction{.op = Opcode::Mfence}.uops(), 3);
+  EXPECT_EQ(Instruction{.op = Opcode::Rdtsc}.uops(), 2);
+}
+
+TEST(Builder, ResolvesForwardAndBackwardLabels) {
+  ProgramBuilder b;
+  b.label("top").nop().jcc(Cond::Z, "bottom").jmp("top").label("bottom").halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(1).target, p.label("bottom"));
+  EXPECT_EQ(p.at(2).target, 0);
+}
+
+TEST(Builder, ThrowsOnUnresolvedLabel) {
+  ProgramBuilder b;
+  b.jmp("nowhere");
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(Builder, ThrowsOnDuplicateLabel) {
+  ProgramBuilder b;
+  b.label("x").nop();
+  EXPECT_THROW(b.label("x"), std::invalid_argument);
+}
+
+TEST(Builder, MovLabelMaterialisesInstructionIndex) {
+  ProgramBuilder b;
+  b.mov_label(Reg::R11, "landing").nop().label("landing").halt();
+  const Program p = b.build();
+  EXPECT_EQ(p.at(0).op, Opcode::MovRI);
+  EXPECT_EQ(p.at(0).imm, p.label("landing"));
+}
+
+TEST(Builder, HereTracksNextIndex) {
+  ProgramBuilder b;
+  EXPECT_EQ(b.here(), 0);
+  b.nop(3);
+  EXPECT_EQ(b.here(), 3);
+}
+
+TEST(Builder, NopCountEmitsExactly) {
+  ProgramBuilder b;
+  b.nop(5).halt();
+  EXPECT_EQ(b.build().size(), 6u);
+}
+
+TEST(ProgramTest, ValidateRejectsOutOfRangeTargets) {
+  std::vector<Instruction> code = {
+      {.op = Opcode::Jmp, .target = 5},
+      {.op = Opcode::Halt},
+  };
+  EXPECT_THROW(Program(code, {}), std::invalid_argument);
+  code[0].target = -1;
+  EXPECT_THROW(Program(code, {}), std::invalid_argument);
+  code[0].target = 1;
+  EXPECT_NO_THROW(Program(code, {}));
+}
+
+TEST(ProgramTest, LabelLookup) {
+  ProgramBuilder b;
+  b.nop().label("mid").nop().halt();
+  const Program p = b.build();
+  EXPECT_TRUE(p.has_label("mid"));
+  EXPECT_EQ(p.label("mid"), 1);
+  EXPECT_FALSE(p.has_label("nope"));
+  EXPECT_THROW((void)p.label("nope"), std::out_of_range);
+}
+
+TEST(ProgramTest, DisassemblyContainsLabelsAndMnemonics) {
+  ProgramBuilder b;
+  b.mov(Reg::RAX, 0x42)
+      .label("loop")
+      .load(Reg::RBX, Reg::RAX, 8)
+      .cmp(Reg::RBX, 0)
+      .jcc(Cond::NZ, "loop")
+      .clflush(Reg::RAX)
+      .mfence()
+      .rdtsc(Reg::R8)
+      .halt();
+  const std::string d = b.build().disassemble();
+  EXPECT_NE(d.find("loop:"), std::string::npos);
+  EXPECT_NE(d.find("mov rax, 0x42"), std::string::npos);
+  EXPECT_NE(d.find("jnz"), std::string::npos);
+  EXPECT_NE(d.find("clflush"), std::string::npos);
+  EXPECT_NE(d.find("mfence"), std::string::npos);
+  EXPECT_NE(d.find("rdtsc"), std::string::npos);
+  EXPECT_NE(d.find("hlt"), std::string::npos);
+}
+
+TEST(ProgramTest, ToStringCoversEveryOpcode) {
+  // Every opcode must print something other than "?".
+  for (int op = 0; op <= static_cast<int>(Opcode::Halt); ++op) {
+    Instruction in{.op = static_cast<Opcode>(op)};
+    in.dst = Reg::RAX;
+    in.src = Reg::RBX;
+    in.base = Reg::RCX;
+    in.target = 0;
+    EXPECT_NE(in.to_string(), "?") << "opcode " << op;
+    EXPECT_FALSE(in.to_string().empty());
+  }
+}
+
+TEST(ProgramTest, RegisterNames) {
+  EXPECT_EQ(to_string(Reg::RAX), "rax");
+  EXPECT_EQ(to_string(Reg::RSP), "rsp");
+  EXPECT_EQ(to_string(Reg::R15), "r15");
+}
+
+}  // namespace
+}  // namespace whisper::isa

@@ -1,0 +1,132 @@
+// Second-level memory-system details: STLB promotion, paging-structure
+// caches, global entries across CR3-style flushes, mixed page sizes, LFB
+// recording via DRAM fills.
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.h"
+
+namespace whisper::mem {
+namespace {
+
+class MemoryDetailsTest : public ::testing::Test {
+ protected:
+  MemoryDetailsTest() {
+    cfg_.jitter_amp = 0;
+    ms_ = std::make_unique<MemorySystem>(cfg_);
+    pt_.map(0x400000, 0x1000000, 0x40000,
+            {.present = true, .writable = true, .user = true});
+    pt_.map(0xffffffff80000000ull, 0x100000000ull, 4ull << 21,
+            {.present = true, .writable = true, .user = false,
+             .global = true},
+            PageSize::k2M);
+    ms_->set_page_table(&pt_);
+  }
+
+  AccessResult read(std::uint64_t vaddr, bool user = true) {
+    return ms_->access({.vaddr = vaddr,
+                        .type = AccessType::Read,
+                        .user_mode = user,
+                        .size = 8});
+  }
+
+  MemConfig cfg_;
+  PageTable pt_;
+  std::unique_ptr<MemorySystem> ms_;
+};
+
+TEST_F(MemoryDetailsTest, StlbServesAfterDtlbEviction) {
+  // Warm both levels, then displace only the DTLB: the next access must be
+  // an STLB hit (cheap) rather than a full walk.
+  (void)read(0x400000);
+  ASSERT_TRUE(ms_->stlb().contains(0x400000));
+  ms_->dtlb().flush_all();
+
+  const AccessResult r = read(0x400000);
+  EXPECT_FALSE(r.tlb_hit);          // missed the first level
+  EXPECT_EQ(r.walk_cycles, 0);      // ...but never engaged the walker
+  EXPECT_GT(r.latency, cfg_.l1_latency);  // paid the STLB latency
+  EXPECT_LE(r.latency, cfg_.l1_latency + cfg_.stlb_latency);
+  // Promotion: the first level is warm again.
+  EXPECT_TRUE(ms_->dtlb().contains(0x400000));
+}
+
+TEST_F(MemoryDetailsTest, PagingStructureCachesShortenNearbyWalks) {
+  ms_->flush_tlbs();
+  const AccessResult far_walk = read(0x400000);      // cold: full depth
+  // A different page in the same region shares upper levels via the PSC.
+  ms_->dtlb().flush_all();
+  ms_->stlb().flush_all();  // TLBs cold, PSC deliberately kept warm
+  const AccessResult near_walk = read(0x410000);
+  EXPECT_GT(near_walk.walk_cycles, 0);
+  EXPECT_LT(near_walk.walk_cycles, far_walk.walk_cycles);
+}
+
+TEST_F(MemoryDetailsTest, GlobalEntriesSurviveNonGlobalFlush) {
+  (void)read(0xffffffff80000000ull, /*user=*/false);  // kernel, global
+  (void)read(0x400000);                               // user, non-global
+  ASSERT_TRUE(ms_->dtlb().contains(0xffffffff80000000ull));
+  ASSERT_TRUE(ms_->dtlb().contains(0x400000));
+
+  ms_->flush_tlbs_non_global();  // the CR3-switch flush
+  EXPECT_TRUE(ms_->dtlb().contains(0xffffffff80000000ull));
+  EXPECT_FALSE(ms_->dtlb().contains(0x400000));
+}
+
+TEST_F(MemoryDetailsTest, MixedPageSizesResolveIndependently) {
+  const AccessResult small = read(0x400000);
+  const AccessResult big = read(0xffffffff80123456ull, /*user=*/false);
+  EXPECT_EQ(small.fault, Fault::None);
+  EXPECT_EQ(big.fault, Fault::None);
+  EXPECT_EQ(big.paddr, 0x100000000ull + 0x123456);
+  // Both sizes coexist in the TLB.
+  EXPECT_TRUE(ms_->dtlb().contains(0x400000));
+  EXPECT_TRUE(ms_->dtlb().contains(0xffffffff80000000ull + 0x100000));
+}
+
+TEST_F(MemoryDetailsTest, DramFillRecordsLineInLfb) {
+  ms_->phys().write64(0x1000040, 0xfeedfacecafef00dull);
+  ASSERT_EQ(ms_->lfb().occupancy(), 0u);
+  (void)read(0x400040);  // DRAM-cold: the fill transits the LFB
+  EXPECT_GT(ms_->lfb().occupancy(), 0u);
+  EXPECT_EQ(*ms_->lfb().stale_qword(0x40), 0xfeedfacecafef00dull);
+}
+
+TEST_F(MemoryDetailsTest, CacheHitDoesNotTouchLfb) {
+  (void)read(0x400080);  // fill
+  ms_->lfb().clear();
+  (void)read(0x400080);  // L1 hit
+  EXPECT_EQ(ms_->lfb().occupancy(), 0u);
+}
+
+TEST_F(MemoryDetailsTest, InvalidateSinglePageLeavesNeighbours) {
+  (void)read(0x400000);
+  (void)read(0x401000);
+  ms_->invalidate_tlb_page(0x400000);
+  EXPECT_FALSE(ms_->dtlb().contains(0x400000));
+  EXPECT_TRUE(ms_->dtlb().contains(0x401000));
+}
+
+TEST_F(MemoryDetailsTest, WalkCyclesScaleWithReplayCount) {
+  for (int replays : {1, 2, 4}) {
+    MemConfig cfg = cfg_;
+    cfg.not_present_replays = replays;
+    MemorySystem ms(cfg);
+    ms.set_page_table(&pt_);
+    const AccessResult r = ms.access({.vaddr = 0x00dead0000ull,
+                                      .type = AccessType::Read,
+                                      .user_mode = true,
+                                      .size = 8});
+    EXPECT_EQ(r.walks, replays);
+    EXPECT_EQ(r.walk_cycles % replays, 0)
+        << "each replay walks the same depth at zero jitter";
+  }
+}
+
+TEST_F(MemoryDetailsTest, TranslateOrThrowMatchesAccessPath) {
+  EXPECT_EQ(ms_->translate_or_throw(0x400123), 0x1000123u);
+  EXPECT_THROW((void)ms_->translate_or_throw(0xdead0000ull),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace whisper::mem

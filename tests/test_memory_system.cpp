@@ -1,0 +1,253 @@
+// MemorySystem behaviour tests — fault classification, latency composition,
+// the paper-critical TLB fill and walk-replay policies, and transient data
+// forwarding (Meltdown / MDS).
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.h"
+
+namespace whisper::mem {
+namespace {
+
+class MemorySystemTest : public ::testing::Test {
+ protected:
+  MemorySystemTest() {
+    cfg_.jitter_amp = 0;  // deterministic latencies for exact assertions
+    ms_ = std::make_unique<MemorySystem>(cfg_);
+    pt_.map(0x400000, 0x1000000, 0x10000,
+            {.present = true, .writable = true, .user = true});
+    pt_.map(0xffffffff80000000ull, 0x100000000ull, 16ull << 20,
+            {.present = true, .writable = true, .user = false,
+             .global = true},
+            PageSize::k2M);
+    PteFlags ro{.present = true, .writable = false, .user = true};
+    pt_.map(0x500000, 0x2000000, 0x1000, ro);
+    PteFlags dummy{.present = true, .writable = false, .user = false,
+                   .reserved = true};
+    pt_.map(0xffffffff90000000ull, 0x0ffe00000ull, 2ull << 20, dummy,
+            PageSize::k2M);
+    ms_->set_page_table(&pt_);
+  }
+
+  AccessResult read(std::uint64_t vaddr, bool user = true) {
+    return ms_->access({.vaddr = vaddr,
+                        .type = AccessType::Read,
+                        .user_mode = user,
+                        .size = 8});
+  }
+
+  MemConfig cfg_;
+  PageTable pt_;
+  std::unique_ptr<MemorySystem> ms_;
+};
+
+TEST_F(MemorySystemTest, PlainReadAndWriteRoundtrip) {
+  const AccessResult w = ms_->access({.vaddr = 0x400100,
+                                      .type = AccessType::Write,
+                                      .user_mode = true,
+                                      .size = 8,
+                                      .store_value = 0xdeadbeef});
+  EXPECT_EQ(w.fault, Fault::None);
+  const AccessResult r = read(0x400100);
+  EXPECT_EQ(r.fault, Fault::None);
+  EXPECT_EQ(r.data, 0xdeadbeefu);
+}
+
+TEST_F(MemorySystemTest, WriteReturnsOldValueForUndoLog) {
+  (void)ms_->access({.vaddr = 0x400200, .type = AccessType::Write,
+                     .user_mode = true, .size = 8, .store_value = 111});
+  const AccessResult w2 =
+      ms_->access({.vaddr = 0x400200, .type = AccessType::Write,
+                   .user_mode = true, .size = 8, .store_value = 222});
+  EXPECT_EQ(w2.data, 111u);
+}
+
+TEST_F(MemorySystemTest, CacheHierarchyLatencies) {
+  const AccessResult cold = read(0x400300);
+  EXPECT_EQ(cold.cache_level, 4);  // DRAM
+  const AccessResult warm = read(0x400300);
+  EXPECT_EQ(warm.cache_level, 1);  // L1
+  EXPECT_LT(warm.latency, cold.latency);
+  EXPECT_EQ(warm.latency, cfg_.l1_latency);  // TLB hit: pure L1 load-to-use
+}
+
+TEST_F(MemorySystemTest, ClflushForcesNextAccessToDram) {
+  (void)read(0x400400);
+  ms_->clflush(0x400400);
+  EXPECT_EQ(read(0x400400).cache_level, 4);
+}
+
+TEST_F(MemorySystemTest, TlbMissCostsWalkThenHitIsFree) {
+  ms_->flush_tlbs();
+  const AccessResult miss = read(0x400500);
+  EXPECT_GT(miss.walk_cycles, 0);
+  const AccessResult hit = read(0x400500);
+  EXPECT_TRUE(hit.tlb_hit);
+  EXPECT_EQ(hit.walk_cycles, 0);
+}
+
+TEST_F(MemorySystemTest, UserAccessToKernelIsPermissionFault) {
+  const AccessResult r = read(0xffffffff80000000ull);
+  EXPECT_EQ(r.fault, Fault::Permission);
+  // Pre-fix default config: the real data still forwards transiently.
+  EXPECT_TRUE(r.data_forwarded);
+}
+
+TEST_F(MemorySystemTest, KernelModeAccessToKernelSucceeds) {
+  const AccessResult r = read(0xffffffff80000000ull, /*user=*/false);
+  EXPECT_EQ(r.fault, Fault::None);
+}
+
+TEST_F(MemorySystemTest, WriteToReadOnlyIsProtectionFault) {
+  const AccessResult r = ms_->access({.vaddr = 0x500000,
+                                      .type = AccessType::Write,
+                                      .user_mode = true,
+                                      .size = 8,
+                                      .store_value = 1});
+  EXPECT_EQ(r.fault, Fault::Protection);
+}
+
+TEST_F(MemorySystemTest, UnmappedIsNotPresentWithReplayedWalks) {
+  ms_->flush_tlbs();
+  const AccessResult r = read(0x00dead0000ull);
+  EXPECT_EQ(r.fault, Fault::NotPresent);
+  EXPECT_EQ(r.walks, cfg_.not_present_replays);
+  EXPECT_GT(r.walk_cycles, 0);
+}
+
+TEST_F(MemorySystemTest, PermissionFaultFillsTlbOnIntelPolicy) {
+  ASSERT_TRUE(cfg_.tlb_fill_on_permission_fault);
+  ms_->flush_tlbs();
+  const AccessResult first = read(0xffffffff80000000ull);
+  EXPECT_TRUE(first.tlb_filled);
+  const AccessResult second = read(0xffffffff80000000ull);
+  EXPECT_TRUE(second.tlb_hit);
+  EXPECT_LT(second.latency, first.latency);
+}
+
+TEST_F(MemorySystemTest, PermissionFaultDoesNotFillTlbOnAmdPolicy) {
+  MemConfig amd = cfg_;
+  amd.tlb_fill_on_permission_fault = false;
+  MemorySystem ms(amd);
+  ms.set_page_table(&pt_);
+  const AccessResult first = ms.access({.vaddr = 0xffffffff80000000ull,
+                                        .type = AccessType::Read,
+                                        .user_mode = true,
+                                        .size = 8});
+  EXPECT_EQ(first.fault, Fault::Permission);
+  EXPECT_FALSE(first.tlb_filled);
+  const AccessResult second = ms.access({.vaddr = 0xffffffff80000000ull,
+                                         .type = AccessType::Read,
+                                         .user_mode = true,
+                                         .size = 8});
+  EXPECT_FALSE(second.tlb_hit);
+}
+
+TEST_F(MemorySystemTest, ReservedDummyNeverFillsTlb) {
+  ms_->flush_tlbs();
+  const AccessResult first = read(0xffffffff90000000ull);
+  EXPECT_EQ(first.fault, Fault::ReservedBit);
+  EXPECT_FALSE(first.tlb_filled);
+  const AccessResult second = read(0xffffffff90000000ull);
+  EXPECT_FALSE(second.tlb_hit);
+  EXPECT_GT(second.walk_cycles, 0);
+}
+
+TEST_F(MemorySystemTest, NotPresentNeverFillsTlb) {
+  ms_->flush_tlbs();
+  (void)read(0x00dead0000ull);
+  EXPECT_FALSE(ms_->dtlb().contains(0x00dead0000ull));
+}
+
+TEST_F(MemorySystemTest, MeltdownForwardingPolicyGate) {
+  ms_->phys().write64(0x100000000ull + 0x100, 0x5345435245545321ull);
+  const AccessResult vuln = read(0xffffffff80000100ull);
+  EXPECT_TRUE(vuln.data_forwarded);
+  EXPECT_EQ(vuln.data, 0x5345435245545321ull);
+
+  MemConfig fixed = cfg_;
+  fixed.meltdown_forwards_data = false;
+  MemorySystem ms(fixed);
+  ms.set_page_table(&pt_);
+  ms.phys().write64(0x100000000ull + 0x100, 0x5345435245545321ull);
+  const AccessResult safe = ms.access({.vaddr = 0xffffffff80000100ull,
+                                       .type = AccessType::Read,
+                                       .user_mode = true,
+                                       .size = 8});
+  EXPECT_FALSE(safe.data_forwarded);
+  EXPECT_EQ(safe.data, 0u);
+}
+
+TEST_F(MemorySystemTest, LfbStaleForwardingPolicyGate) {
+  ms_->victim_touch(0x40000000, 0x77, 1);
+  const AccessResult vuln = ms_->access({.vaddr = 0x00dead0000ull,
+                                         .type = AccessType::Read,
+                                         .user_mode = true,
+                                         .size = 1});
+  EXPECT_TRUE(vuln.from_lfb_stale);
+  EXPECT_EQ(vuln.data, 0x77u);
+
+  MemConfig fixed = cfg_;
+  fixed.lfb_forwards_stale = false;
+  MemorySystem ms(fixed);
+  ms.set_page_table(&pt_);
+  ms.victim_touch(0x40000000, 0x77, 1);
+  const AccessResult safe = ms.access({.vaddr = 0x00dead0000ull,
+                                       .type = AccessType::Read,
+                                       .user_mode = true,
+                                       .size = 1});
+  EXPECT_FALSE(safe.from_lfb_stale);
+}
+
+TEST_F(MemorySystemTest, FaultConfirmationAddsFixedCost) {
+  // Probe twice so the second access is a TLB hit; its latency must be
+  // exactly the confirmation cost (translation itself is free).
+  ms_->flush_tlbs();
+  (void)read(0xffffffff80000000ull);
+  const AccessResult hit = read(0xffffffff80000000ull);
+  EXPECT_TRUE(hit.tlb_hit);
+  // Data forwarding adds cache latency on vulnerable config.
+  EXPECT_GE(hit.latency, cfg_.fault_confirm_min_cycles);
+}
+
+TEST_F(MemorySystemTest, PrefetchNeverFaultsButExposesWalkTime) {
+  ms_->flush_tlbs();
+  const AccessResult mapped = ms_->access({.vaddr = 0xffffffff80000000ull,
+                                           .type = AccessType::Prefetch,
+                                           .user_mode = true});
+  EXPECT_EQ(mapped.fault, Fault::Permission);  // classified, not raised
+  ms_->flush_tlbs();
+  const AccessResult unmapped = ms_->access({.vaddr = 0x00dead0000ull,
+                                             .type = AccessType::Prefetch,
+                                             .user_mode = true});
+  EXPECT_GT(unmapped.walk_cycles, 0);
+}
+
+TEST_F(MemorySystemTest, DebugAccessorsBypassTiming) {
+  ms_->debug_write64(0x400800, 0xabcdef);
+  EXPECT_EQ(ms_->debug_read64(0x400800), 0xabcdefu);
+  ms_->debug_write8(0x400808, 0x99);
+  EXPECT_EQ(ms_->debug_read8(0x400808), 0x99);
+  EXPECT_THROW((void)ms_->debug_read64(0x00dead0000ull), std::runtime_error);
+}
+
+TEST_F(MemorySystemTest, EventSinkReceivesWalkEvents) {
+  struct Sink : MemEventSink {
+    int walks = 0, walk_cycles = 0, stlb = 0, dram = 0;
+    void on_dtlb_miss_walk(int w) override { walks += w; }
+    void on_dtlb_walk_cycles(int c) override { walk_cycles += c; }
+    void on_itlb_walk_cycles(int) override {}
+    void on_stlb_hit() override { ++stlb; }
+    void on_cache_hit(int) override {}
+    void on_dram_access() override { ++dram; }
+  } sink;
+  ms_->set_event_sink(&sink);
+  ms_->flush_tlbs();
+  (void)read(0x00dead0000ull);
+  EXPECT_EQ(sink.walks, cfg_.not_present_replays);
+  EXPECT_GT(sink.walk_cycles, 0);
+  (void)read(0x400000);
+  EXPECT_EQ(sink.dram, 1);
+}
+
+}  // namespace
+}  // namespace whisper::mem

@@ -1,0 +1,238 @@
+// Parameterised property tests: sweeps over CPU models, seeds and gadget
+// shapes. These pin down the Table 2 success/failure matrix and the
+// determinism guarantees of the simulator.
+#include <gtest/gtest.h>
+
+#include "core/attacks/kaslr.h"
+#include "core/attacks/meltdown.h"
+#include "core/attacks/zombieload.h"
+#include "core/covert_channel.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper {
+namespace {
+
+using core::SecretSource;
+using core::WindowKind;
+
+// ---------------------------------------------------------------------------
+// Per-model expectations (Table 2). '?' cells in the paper are recorded as
+// the model's prediction in DESIGN.md.
+// ---------------------------------------------------------------------------
+
+struct ModelExpectation {
+  uarch::CpuModel model;
+  bool meltdown;  // TET-MD
+  bool zbl;       // TET-ZBL
+  bool kaslr;     // TET-KASLR
+};
+
+class ModelMatrixTest : public ::testing::TestWithParam<ModelExpectation> {};
+
+TEST_P(ModelMatrixTest, MeltdownMatchesTable2) {
+  const auto& exp = GetParam();
+  os::Machine m({.model = exp.model});
+  const std::vector<std::uint8_t> secret = {'K', 'e', 'y'};
+  const std::uint64_t kaddr = m.plant_kernel_secret(secret);
+  core::TetMeltdown atk(m, {.batches = 4});
+  const bool ok = atk.leak(kaddr, secret.size()) == secret;
+  EXPECT_EQ(ok, exp.meltdown) << uarch::to_string(exp.model);
+}
+
+TEST_P(ModelMatrixTest, ZombieloadMatchesTable2) {
+  const auto& exp = GetParam();
+  os::Machine m({.model = exp.model});
+  const std::vector<std::uint8_t> stream = {0x5a, 0xa5};
+  core::TetZombieload atk(m, {.batches = 4});
+  const bool ok = atk.leak(stream) == stream;
+  EXPECT_EQ(ok, exp.zbl) << uarch::to_string(exp.model);
+}
+
+TEST_P(ModelMatrixTest, KaslrMatchesTable2) {
+  const auto& exp = GetParam();
+  os::Machine m({.model = exp.model});
+  core::TetKaslr atk(m, {.rounds = 3});
+  EXPECT_EQ(atk.run().success, exp.kaslr) << uarch::to_string(exp.model);
+}
+
+TEST_P(ModelMatrixTest, CovertChannelWorksEverywhere) {
+  // Table 2: TET-CC is ✓ on every machine.
+  const auto& exp = GetParam();
+  os::Machine m({.model = exp.model});
+  core::TetCovertChannel cc(m, {.batches = 3});
+  const std::vector<std::uint8_t> payload = {'c', 'c', '!'};
+  const auto report = cc.transmit(payload);
+  EXPECT_EQ(report.byte_errors, 0u) << uarch::to_string(exp.model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, ModelMatrixTest,
+    ::testing::Values(
+        ModelExpectation{uarch::CpuModel::SkylakeI7_6700, true, true, true},
+        ModelExpectation{uarch::CpuModel::KabyLakeI7_7700, true, true, true},
+        ModelExpectation{uarch::CpuModel::CometLakeI9_10980XE, false, false,
+                         true},
+        ModelExpectation{uarch::CpuModel::RaptorLakeI9_13900K, false, false,
+                         true},
+        ModelExpectation{uarch::CpuModel::Zen3Ryzen5_5600G, false, false,
+                         false}),
+    [](const auto& info) {
+      std::string name = uarch::make_config(info.param.model).uarch_name;
+      std::erase_if(name, [](char c) { return !std::isalnum(c); });
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Gadget program properties across window kinds and secret sources.
+// ---------------------------------------------------------------------------
+
+class GadgetShapeTest
+    : public ::testing::TestWithParam<std::tuple<WindowKind, SecretSource>> {
+};
+
+TEST_P(GadgetShapeTest, BuildsValidatesAndRuns) {
+  const auto [window, source] = GetParam();
+  const core::GadgetProgram g =
+      core::make_tet_gadget({.window = window, .source = source});
+  EXPECT_NO_THROW(g.prog.validate());
+  EXPECT_GE(g.signal_handler, 0);
+  EXPECT_FALSE(g.prog.disassemble().empty());
+
+  os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+  m.poke8(os::Machine::kSharedBase, 'S');
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RCX)] =
+      source == SecretSource::None ? m.kernel().kernel_base() : 0;
+  regs[static_cast<std::size_t>(isa::Reg::RDX)] = os::Machine::kSharedBase;
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = 'S';
+  EXPECT_GT(core::run_tote(m, g, regs), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, GadgetShapeTest,
+    ::testing::Combine(::testing::Values(WindowKind::Tsx,
+                                         WindowKind::Signal),
+                       ::testing::Values(SecretSource::FaultingLoad,
+                                         SecretSource::SharedMemory,
+                                         SecretSource::None)),
+    [](const auto& info) {
+      const WindowKind w = std::get<0>(info.param);
+      const SecretSource s = std::get<1>(info.param);
+      std::string name = w == WindowKind::Tsx ? "Tsx" : "Signal";
+      name += s == SecretSource::FaultingLoad    ? "FaultingLoad"
+              : s == SecretSource::SharedMemory ? "SharedMemory"
+                                                : "None";
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Determinism and KASLR-entropy properties over seeds.
+// ---------------------------------------------------------------------------
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, SameSeedSameOutcome) {
+  const std::uint64_t seed = GetParam();
+  auto run_once = [&] {
+    os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE,
+                   .seed = seed});
+    core::TetKaslr atk(m, {.rounds = 2});
+    const auto r = atk.run();
+    return std::make_tuple(r.found_slot, r.cycles, r.success);
+  };
+  EXPECT_EQ(run_once(), run_once()) << "simulation must be replayable";
+}
+
+TEST_P(SeedSweepTest, KaslrAttackFindsRandomisedSlot) {
+  const std::uint64_t seed = GetParam();
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE,
+                 .seed = seed});
+  core::TetKaslr atk(m, {.rounds = 2});
+  const auto r = atk.run();
+  EXPECT_TRUE(r.success) << "seed " << seed << " found slot " << r.found_slot
+                         << " true slot " << m.kernel().slot();
+}
+
+TEST_P(SeedSweepTest, KptiKaslrAttackAcrossSeeds) {
+  const std::uint64_t seed = GetParam();
+  os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE,
+                 .kernel = {.kpti = true},
+                 .seed = seed});
+  core::TetKaslr atk(m, {.rounds = 2});
+  EXPECT_TRUE(atk.run().success) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(11ull, 222ull, 3333ull, 44444ull,
+                                           555555ull, 0xdeadbeefull));
+
+// ---------------------------------------------------------------------------
+// Meltdown byte-value sweep: the decode must work for arbitrary byte values,
+// including 0x00 and 0xff.
+// ---------------------------------------------------------------------------
+
+class ByteValueTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ByteValueTest, MeltdownLeaksExactByte) {
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+  const std::uint8_t secret[] = {static_cast<std::uint8_t>(GetParam())};
+  const std::uint64_t kaddr = m.plant_kernel_secret(secret);
+  core::TetMeltdown atk(m, {.batches = 4});
+  EXPECT_EQ(atk.leak_byte(kaddr), secret[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, ByteValueTest,
+                         ::testing::Values(0x00, 0x01, 0x53, 0x7f, 0x80,
+                                           0xaa, 0xfe, 0xff));
+
+// ---------------------------------------------------------------------------
+// Both suppression mechanisms (the paper's transient_begin alternatives)
+// must carry the channel end to end.
+// ---------------------------------------------------------------------------
+
+class WindowKindTest : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowKindTest, MeltdownLeaksUnderEitherSuppression) {
+  os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+  const std::vector<std::uint8_t> secret = {'w', 'k'};
+  const std::uint64_t kaddr = m.plant_kernel_secret(secret);
+  core::TetMeltdown atk(m, {.batches = 4, .window = GetParam()});
+  EXPECT_EQ(atk.leak(kaddr, secret.size()), secret);
+}
+
+TEST_P(WindowKindTest, CovertChannelWorksUnderEitherSuppression) {
+  os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+  core::TetCovertChannel cc(m, {.batches = 3, .window = GetParam()});
+  const std::vector<std::uint8_t> payload = {0x12, 0xef};
+  EXPECT_EQ(cc.transmit(payload).byte_errors, 0u);
+}
+
+TEST_P(WindowKindTest, SignalWindowCostsMoreThanTsx) {
+  // Throughput rationale of §4.1: the per-probe suppression cost.
+  os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+  m.poke8(os::Machine::kSharedBase, 'S');
+  const auto g = core::make_tet_gadget(
+      {.window = GetParam(), .source = core::SecretSource::SharedMemory});
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RCX)] = core::kNullProbeAddress;
+  regs[static_cast<std::size_t>(isa::Reg::RDX)] = os::Machine::kSharedBase;
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = 'T';
+  std::uint64_t total = 0;
+  for (int i = 0; i < 8; ++i) total += core::run_tote(m, g, regs);
+  if (GetParam() == WindowKind::Signal)
+    EXPECT_GT(total / 8, 2'000u);  // kernel #PF + signal delivery dominates
+  else
+    EXPECT_LT(total / 8, 400u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowKindTest,
+                         ::testing::Values(WindowKind::Tsx,
+                                           WindowKind::Signal),
+                         [](const auto& info) {
+                           return info.param == WindowKind::Tsx ? "Tsx"
+                                                                : "Signal";
+                         });
+
+}  // namespace
+}  // namespace whisper

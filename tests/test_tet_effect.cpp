@@ -1,0 +1,145 @@
+// The load-bearing behavioural contracts of the Whisper channel
+// (DESIGN.md §1): the sign and separability of the ToTE deltas that every
+// attack builds on.
+#include <gtest/gtest.h>
+
+#include "core/attacks/common.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+
+namespace whisper {
+namespace {
+
+using core::GadgetProgram;
+using core::SecretSource;
+using core::TetGadgetSpec;
+using core::WindowKind;
+
+std::array<std::uint64_t, isa::kNumRegs> regs_with(
+    std::initializer_list<std::pair<isa::Reg, std::uint64_t>> kv) {
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  for (const auto& [r, v] : kv) regs[static_cast<std::size_t>(r)] = v;
+  return regs;
+}
+
+double mean_tote(os::Machine& m, const GadgetProgram& g,
+                 const std::array<std::uint64_t, isa::kNumRegs>& regs,
+                 int samples = 20) {
+  double sum = 0;
+  int n = 0;
+  for (int i = 0; i < samples; ++i) {
+    const std::uint64_t t = core::run_tote(m, g, regs);
+    if (t != 0) {
+      sum += static_cast<double>(t);
+      ++n;
+    }
+  }
+  EXPECT_GT(n, samples / 2) << "too many failed probes";
+  return n ? sum / n : 0.0;
+}
+
+// Fig. 1: a triggered Jcc inside an exception-terminated transient window
+// lengthens ToTE, on every modelled CPU.
+TEST(TetEffect, TriggerLengthensExceptionWindow) {
+  for (uarch::CpuModel model : uarch::all_models()) {
+    os::Machine m({.model = model});
+    m.poke8(os::Machine::kSharedBase, 'S');
+    const GadgetProgram g = core::make_tet_gadget(
+        {.window = core::preferred_window(m.config()),
+         .source = SecretSource::SharedMemory});
+
+    auto regs = regs_with({{isa::Reg::RCX, core::kNullProbeAddress},
+                           {isa::Reg::RDX, os::Machine::kSharedBase}});
+    regs[static_cast<std::size_t>(isa::Reg::RBX)] = 'S';
+    const double trig = mean_tote(m, g, regs);
+    regs[static_cast<std::size_t>(isa::Reg::RBX)] = 'T';
+    const double no_trig = mean_tote(m, g, regs);
+
+    EXPECT_GT(trig, no_trig + 4.0)
+        << "no TET signal on " << uarch::to_string(model);
+  }
+}
+
+// §4.3.2: for an MDS/assist window the relationship flips — a triggered
+// (stale-data-dependent) Jcc shortens ToTE.
+TEST(TetEffect, TriggerShortensAssistWindow) {
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+  const GadgetProgram g = core::make_tet_gadget(
+      {.window = WindowKind::Tsx, .source = SecretSource::FaultingLoad});
+
+  auto regs = regs_with({{isa::Reg::RCX, core::kNullProbeAddress}});
+  auto probe = [&](int tv) {
+    m.victim_touch('Z');  // stale LFB byte the faulting load samples
+    regs[static_cast<std::size_t>(isa::Reg::RBX)] =
+        static_cast<std::uint64_t>(tv);
+    return core::run_tote(m, g, regs);
+  };
+  double trig = 0, no_trig = 0;
+  for (int i = 0; i < 20; ++i) {
+    trig += static_cast<double>(probe('Z'));
+    no_trig += static_cast<double>(probe('Q'));
+  }
+  EXPECT_LT(trig + 20 * 4.0, no_trig)
+      << "assist window should squash early on trigger";
+}
+
+// §4.3.3: same sign for the RSB window, and no fault is ever raised.
+TEST(TetEffect, TriggerShortensRsbWindow) {
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
+  m.poke8(os::Machine::kSharedBase, 'R');
+  const GadgetProgram g = core::make_rsb_gadget();
+
+  auto regs = regs_with({{isa::Reg::RDX, os::Machine::kSharedBase}});
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = 'R';
+  const double trig = mean_tote(m, g, regs);
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = 'X';
+  const double no_trig = mean_tote(m, g, regs);
+
+  EXPECT_LT(trig + 20.0, no_trig);
+}
+
+// §4.5: mapped (supervisor) targets probe shorter than unmapped ones on
+// Intel; on the Zen 3 model the signal is absent.
+TEST(TetEffect, MappedVsUnmappedKaslrSignal) {
+  {
+    os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE});
+    const GadgetProgram g =
+        core::make_kaslr_gadget(core::preferred_window(m.config()));
+    const std::uint64_t mapped = m.kernel().kernel_base();
+    const std::uint64_t unmapped = m.kernel().unmapped_probe_address();
+
+    double mapped_sum = 0, unmapped_sum = 0;
+    for (int i = 0; i < 16; ++i) {
+      m.evict_tlbs();
+      mapped_sum += static_cast<double>(core::run_tote(
+          m, g, regs_with({{isa::Reg::RCX, mapped}})));
+      m.evict_tlbs();
+      unmapped_sum += static_cast<double>(core::run_tote(
+          m, g, regs_with({{isa::Reg::RCX, unmapped}})));
+    }
+    EXPECT_LT(mapped_sum + 16 * 8.0, unmapped_sum);
+  }
+  {
+    os::Machine m({.model = uarch::CpuModel::Zen3Ryzen5_5600G});
+    const GadgetProgram g =
+        core::make_kaslr_gadget(core::preferred_window(m.config()));
+    const std::uint64_t mapped = m.kernel().kernel_base();
+    const std::uint64_t unmapped = m.kernel().unmapped_probe_address();
+
+    double mapped_sum = 0, unmapped_sum = 0;
+    for (int i = 0; i < 16; ++i) {
+      m.evict_tlbs();
+      mapped_sum += static_cast<double>(core::run_tote(
+          m, g, regs_with({{isa::Reg::RCX, mapped}})));
+      m.evict_tlbs();
+      unmapped_sum += static_cast<double>(core::run_tote(
+          m, g, regs_with({{isa::Reg::RCX, unmapped}})));
+    }
+    const double gap = (unmapped_sum - mapped_sum) / 16.0;
+    EXPECT_LT(std::abs(gap), 6.0)
+        << "Zen 3 should not expose a mapped/unmapped ToTE gap";
+  }
+}
+
+}  // namespace
+}  // namespace whisper

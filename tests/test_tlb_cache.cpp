@@ -1,0 +1,155 @@
+// Unit tests for the TLB, the data caches, and the line fill buffer.
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+#include "mem/lfb.h"
+#include "mem/tlb.h"
+
+namespace whisper::mem {
+namespace {
+
+PteFlags user_flags() {
+  return {.present = true, .writable = true, .user = true};
+}
+PteFlags global_flags() {
+  return {.present = true, .writable = true, .user = false, .global = true};
+}
+
+TEST(TlbTest, InsertLookupRoundtrip4K) {
+  Tlb tlb(16, 4);
+  tlb.insert(0x400000, 0x1000000, user_flags(), PageSize::k4K);
+  const auto hit = tlb.lookup(0x400abc);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->pfn << 12, 0x1000000u);
+  EXPECT_FALSE(tlb.lookup(0x401000).has_value());  // next page misses
+}
+
+TEST(TlbTest, InsertLookupRoundtrip2M) {
+  Tlb tlb(16, 4);
+  tlb.insert(0x40000000, 0x80000000, global_flags(), PageSize::k2M);
+  ASSERT_TRUE(tlb.lookup(0x401fffff).has_value());
+  EXPECT_TRUE(tlb.lookup(0x40000000).has_value());
+  EXPECT_FALSE(tlb.lookup(0x40200000).has_value());
+}
+
+TEST(TlbTest, LruEvictionWithinSet) {
+  Tlb tlb(1, 2);  // single set, 2 ways
+  tlb.insert(0x1000, 0xa000, user_flags(), PageSize::k4K);
+  tlb.insert(0x2000, 0xb000, user_flags(), PageSize::k4K);
+  (void)tlb.lookup(0x1000);  // make the first entry MRU
+  tlb.insert(0x3000, 0xc000, user_flags(), PageSize::k4K);
+  EXPECT_TRUE(tlb.contains(0x1000));
+  EXPECT_FALSE(tlb.contains(0x2000));  // LRU victim
+  EXPECT_TRUE(tlb.contains(0x3000));
+}
+
+TEST(TlbTest, FlushSemantics) {
+  Tlb tlb(16, 4);
+  tlb.insert(0x400000, 0x1000000, user_flags(), PageSize::k4K);
+  tlb.insert(0xffffffff80000000ull, 0x100000000ull, global_flags(),
+             PageSize::k2M);
+  tlb.flush_non_global();
+  EXPECT_FALSE(tlb.contains(0x400000));
+  EXPECT_TRUE(tlb.contains(0xffffffff80000000ull));  // global survives
+  tlb.flush_all();
+  EXPECT_FALSE(tlb.contains(0xffffffff80000000ull));
+  EXPECT_EQ(tlb.occupancy(), 0u);
+}
+
+TEST(TlbTest, InvalidatePage) {
+  Tlb tlb(16, 4);
+  tlb.insert(0x400000, 0x1000000, user_flags(), PageSize::k4K);
+  tlb.insert(0x401000, 0x1001000, user_flags(), PageSize::k4K);
+  tlb.invalidate_page(0x400000);
+  EXPECT_FALSE(tlb.contains(0x400000));
+  EXPECT_TRUE(tlb.contains(0x401000));
+}
+
+TEST(TlbTest, InsertUpdatesExistingEntry) {
+  Tlb tlb(16, 4);
+  tlb.insert(0x400000, 0x1000000, user_flags(), PageSize::k4K);
+  tlb.insert(0x400000, 0x2000000, user_flags(), PageSize::k4K);
+  EXPECT_EQ(tlb.occupancy(), 1u);
+  EXPECT_EQ(tlb.lookup(0x400000)->pfn << 12, 0x2000000u);
+}
+
+TEST(TlbTest, RejectsBadGeometry) {
+  EXPECT_THROW(Tlb(0, 4), std::invalid_argument);
+  EXPECT_THROW(Tlb(3, 4), std::invalid_argument);
+  EXPECT_THROW(Tlb(16, 0), std::invalid_argument);
+}
+
+TEST(CacheTest, FillThenHit) {
+  Cache c(64, 8);
+  EXPECT_FALSE(c.access(0x1000));
+  c.fill(0x1000);
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x103f));   // same 64 B line
+  EXPECT_FALSE(c.access(0x1040));  // next line
+}
+
+TEST(CacheTest, FlushLine) {
+  Cache c(64, 8);
+  c.fill(0x1000);
+  c.fill(0x2000);
+  c.flush_line(0x1020);
+  EXPECT_FALSE(c.contains(0x1000));
+  EXPECT_TRUE(c.contains(0x2000));
+  c.flush_all();
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+TEST(CacheTest, LruEvictionReturnsVictim) {
+  Cache c(1, 2);
+  c.fill(0x0);
+  c.fill(0x40);
+  (void)c.access(0x0);
+  const std::uint64_t evicted = c.fill(0x80);
+  EXPECT_EQ(evicted, 0x40u);
+  EXPECT_TRUE(c.contains(0x0));
+  EXPECT_FALSE(c.contains(0x40));
+}
+
+TEST(CacheTest, RefillingResidentLineEvictsNothing) {
+  Cache c(64, 8);
+  c.fill(0x1000);
+  EXPECT_EQ(c.fill(0x1000), 0u);
+  EXPECT_EQ(c.occupancy(), 1u);
+}
+
+TEST(LfbTest, StaleByteComesFromNewestEntry) {
+  LineFillBuffer lfb;
+  EXPECT_FALSE(lfb.stale_byte(0).has_value());
+  lfb.record_value(0x1000, 0xAA, 1);
+  lfb.record_value(0x2000, 0xBB, 1);
+  ASSERT_TRUE(lfb.stale_byte(0).has_value());
+  EXPECT_EQ(*lfb.stale_byte(0), 0xBB);
+}
+
+TEST(LfbTest, OffsetAddressing) {
+  LineFillBuffer lfb;
+  lfb.record_value(0x1008, 0x1122334455667788ull, 8);
+  EXPECT_EQ(*lfb.stale_byte(8), 0x88);
+  EXPECT_EQ(*lfb.stale_byte(9), 0x77);
+  EXPECT_EQ(*lfb.stale_qword(8), 0x1122334455667788ull);
+}
+
+TEST(LfbTest, CapacityRecyclesOldest) {
+  LineFillBuffer lfb;
+  for (std::uint64_t i = 0; i < LineFillBuffer::kEntries + 3; ++i)
+    lfb.record_value(0x1000 + i * 64, i, 1);
+  EXPECT_EQ(lfb.occupancy(), LineFillBuffer::kEntries);
+  EXPECT_EQ(*lfb.stale_byte(0),
+            static_cast<std::uint8_t>(LineFillBuffer::kEntries + 2));
+}
+
+TEST(LfbTest, ClearEmpties) {
+  LineFillBuffer lfb;
+  lfb.record_value(0x1000, 0x42, 1);
+  lfb.clear();
+  EXPECT_EQ(lfb.occupancy(), 0u);
+  EXPECT_FALSE(lfb.stale_byte(0).has_value());
+}
+
+}  // namespace
+}  // namespace whisper::mem
