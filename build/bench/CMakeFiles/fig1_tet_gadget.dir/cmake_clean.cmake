@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tet_gadget.dir/fig1_tet_gadget.cpp.o"
+  "CMakeFiles/fig1_tet_gadget.dir/fig1_tet_gadget.cpp.o.d"
+  "fig1_tet_gadget"
+  "fig1_tet_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tet_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

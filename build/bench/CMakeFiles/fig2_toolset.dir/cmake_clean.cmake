@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_toolset.dir/fig2_toolset.cpp.o"
+  "CMakeFiles/fig2_toolset.dir/fig2_toolset.cpp.o.d"
+  "fig2_toolset"
+  "fig2_toolset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_toolset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_frontend.dir/fig3_frontend.cpp.o"
+  "CMakeFiles/fig3_frontend.dir/fig3_frontend.cpp.o.d"
+  "fig3_frontend"
+  "fig3_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_flow.dir/fig4_flow.cpp.o"
+  "CMakeFiles/fig4_flow.dir/fig4_flow.cpp.o.d"
+  "fig4_flow"
+  "fig4_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_probes.dir/micro_probes.cpp.o"
+  "CMakeFiles/micro_probes.dir/micro_probes.cpp.o.d"
+  "micro_probes"
+  "micro_probes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_probes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

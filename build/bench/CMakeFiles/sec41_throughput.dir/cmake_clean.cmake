@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_throughput.dir/sec41_throughput.cpp.o"
+  "CMakeFiles/sec41_throughput.dir/sec41_throughput.cpp.o.d"
+  "sec41_throughput"
+  "sec41_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_smt.dir/sec44_smt.cpp.o"
+  "CMakeFiles/sec44_smt.dir/sec44_smt.cpp.o.d"
+  "sec44_smt"
+  "sec44_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec45_kaslr.dir/sec45_kaslr.cpp.o"
+  "CMakeFiles/sec45_kaslr.dir/sec45_kaslr.cpp.o.d"
+  "sec45_kaslr"
+  "sec45_kaslr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_kaslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_taxonomy.cpp" "bench/CMakeFiles/table1_taxonomy.dir/table1_taxonomy.cpp.o" "gcc" "bench/CMakeFiles/table1_taxonomy.dir/table1_taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/whisper_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/whisper_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/whisper_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/whisper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/whisper_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/whisper_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_pmu.dir/table3_pmu.cpp.o"
+  "CMakeFiles/table3_pmu.dir/table3_pmu.cpp.o.d"
+  "table3_pmu"
+  "table3_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

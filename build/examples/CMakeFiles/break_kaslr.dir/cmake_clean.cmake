@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/break_kaslr.dir/break_kaslr.cpp.o"
+  "CMakeFiles/break_kaslr.dir/break_kaslr.cpp.o.d"
+  "break_kaslr"
+  "break_kaslr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/break_kaslr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leak_secret.dir/leak_secret.cpp.o"
+  "CMakeFiles/leak_secret.dir/leak_secret.cpp.o.d"
+  "leak_secret"
+  "leak_secret.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leak_secret.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

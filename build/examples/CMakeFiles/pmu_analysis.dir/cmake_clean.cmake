@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_analysis.dir/pmu_analysis.cpp.o"
+  "CMakeFiles/pmu_analysis.dir/pmu_analysis.cpp.o.d"
+  "pmu_analysis"
+  "pmu_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

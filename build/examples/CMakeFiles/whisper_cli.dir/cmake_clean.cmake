@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_cli.dir/whisper_cli.cpp.o"
+  "CMakeFiles/whisper_cli.dir/whisper_cli.cpp.o.d"
+  "whisper_cli"
+  "whisper_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

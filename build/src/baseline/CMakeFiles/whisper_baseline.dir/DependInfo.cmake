@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/avx_kaslr.cpp" "src/baseline/CMakeFiles/whisper_baseline.dir/avx_kaslr.cpp.o" "gcc" "src/baseline/CMakeFiles/whisper_baseline.dir/avx_kaslr.cpp.o.d"
+  "/root/repo/src/baseline/flush_reload.cpp" "src/baseline/CMakeFiles/whisper_baseline.dir/flush_reload.cpp.o" "gcc" "src/baseline/CMakeFiles/whisper_baseline.dir/flush_reload.cpp.o.d"
+  "/root/repo/src/baseline/prefetch_kaslr.cpp" "src/baseline/CMakeFiles/whisper_baseline.dir/prefetch_kaslr.cpp.o" "gcc" "src/baseline/CMakeFiles/whisper_baseline.dir/prefetch_kaslr.cpp.o.d"
+  "/root/repo/src/baseline/prime_probe.cpp" "src/baseline/CMakeFiles/whisper_baseline.dir/prime_probe.cpp.o" "gcc" "src/baseline/CMakeFiles/whisper_baseline.dir/prime_probe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/whisper_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/whisper_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/whisper_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/whisper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/whisper_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_baseline.dir/avx_kaslr.cpp.o"
+  "CMakeFiles/whisper_baseline.dir/avx_kaslr.cpp.o.d"
+  "CMakeFiles/whisper_baseline.dir/flush_reload.cpp.o"
+  "CMakeFiles/whisper_baseline.dir/flush_reload.cpp.o.d"
+  "CMakeFiles/whisper_baseline.dir/prefetch_kaslr.cpp.o"
+  "CMakeFiles/whisper_baseline.dir/prefetch_kaslr.cpp.o.d"
+  "CMakeFiles/whisper_baseline.dir/prime_probe.cpp.o"
+  "CMakeFiles/whisper_baseline.dir/prime_probe.cpp.o.d"
+  "libwhisper_baseline.a"
+  "libwhisper_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analyzer.cpp" "src/core/CMakeFiles/whisper_core.dir/analyzer.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/core/attacks/kaslr.cpp" "src/core/CMakeFiles/whisper_core.dir/attacks/kaslr.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/attacks/kaslr.cpp.o.d"
+  "/root/repo/src/core/attacks/meltdown.cpp" "src/core/CMakeFiles/whisper_core.dir/attacks/meltdown.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/attacks/meltdown.cpp.o.d"
+  "/root/repo/src/core/attacks/smt_channel.cpp" "src/core/CMakeFiles/whisper_core.dir/attacks/smt_channel.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/attacks/smt_channel.cpp.o.d"
+  "/root/repo/src/core/attacks/spectre_rsb.cpp" "src/core/CMakeFiles/whisper_core.dir/attacks/spectre_rsb.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/attacks/spectre_rsb.cpp.o.d"
+  "/root/repo/src/core/attacks/spectre_v1.cpp" "src/core/CMakeFiles/whisper_core.dir/attacks/spectre_v1.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/attacks/spectre_v1.cpp.o.d"
+  "/root/repo/src/core/attacks/zombieload.cpp" "src/core/CMakeFiles/whisper_core.dir/attacks/zombieload.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/attacks/zombieload.cpp.o.d"
+  "/root/repo/src/core/covert_channel.cpp" "src/core/CMakeFiles/whisper_core.dir/covert_channel.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/covert_channel.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/whisper_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/gadgets.cpp" "src/core/CMakeFiles/whisper_core.dir/gadgets.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/gadgets.cpp.o.d"
+  "/root/repo/src/core/pmu_toolset.cpp" "src/core/CMakeFiles/whisper_core.dir/pmu_toolset.cpp.o" "gcc" "src/core/CMakeFiles/whisper_core.dir/pmu_toolset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/whisper_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/whisper_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/whisper_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/whisper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/whisper_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

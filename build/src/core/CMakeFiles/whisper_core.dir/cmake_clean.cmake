@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_core.dir/analyzer.cpp.o"
+  "CMakeFiles/whisper_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/attacks/kaslr.cpp.o"
+  "CMakeFiles/whisper_core.dir/attacks/kaslr.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/attacks/meltdown.cpp.o"
+  "CMakeFiles/whisper_core.dir/attacks/meltdown.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/attacks/smt_channel.cpp.o"
+  "CMakeFiles/whisper_core.dir/attacks/smt_channel.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/attacks/spectre_rsb.cpp.o"
+  "CMakeFiles/whisper_core.dir/attacks/spectre_rsb.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/attacks/spectre_v1.cpp.o"
+  "CMakeFiles/whisper_core.dir/attacks/spectre_v1.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/attacks/zombieload.cpp.o"
+  "CMakeFiles/whisper_core.dir/attacks/zombieload.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/covert_channel.cpp.o"
+  "CMakeFiles/whisper_core.dir/covert_channel.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/detector.cpp.o"
+  "CMakeFiles/whisper_core.dir/detector.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/gadgets.cpp.o"
+  "CMakeFiles/whisper_core.dir/gadgets.cpp.o.d"
+  "CMakeFiles/whisper_core.dir/pmu_toolset.cpp.o"
+  "CMakeFiles/whisper_core.dir/pmu_toolset.cpp.o.d"
+  "libwhisper_core.a"
+  "libwhisper_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

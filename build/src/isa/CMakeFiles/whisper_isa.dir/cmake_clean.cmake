@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_isa.dir/builder.cpp.o"
+  "CMakeFiles/whisper_isa.dir/builder.cpp.o.d"
+  "CMakeFiles/whisper_isa.dir/interpreter.cpp.o"
+  "CMakeFiles/whisper_isa.dir/interpreter.cpp.o.d"
+  "CMakeFiles/whisper_isa.dir/isa.cpp.o"
+  "CMakeFiles/whisper_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/whisper_isa.dir/program.cpp.o"
+  "CMakeFiles/whisper_isa.dir/program.cpp.o.d"
+  "libwhisper_isa.a"
+  "libwhisper_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_mem.dir/cache.cpp.o"
+  "CMakeFiles/whisper_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/whisper_mem.dir/lfb.cpp.o"
+  "CMakeFiles/whisper_mem.dir/lfb.cpp.o.d"
+  "CMakeFiles/whisper_mem.dir/memory_system.cpp.o"
+  "CMakeFiles/whisper_mem.dir/memory_system.cpp.o.d"
+  "CMakeFiles/whisper_mem.dir/page_table.cpp.o"
+  "CMakeFiles/whisper_mem.dir/page_table.cpp.o.d"
+  "CMakeFiles/whisper_mem.dir/phys_mem.cpp.o"
+  "CMakeFiles/whisper_mem.dir/phys_mem.cpp.o.d"
+  "CMakeFiles/whisper_mem.dir/tlb.cpp.o"
+  "CMakeFiles/whisper_mem.dir/tlb.cpp.o.d"
+  "libwhisper_mem.a"
+  "libwhisper_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel_layout.cpp" "src/os/CMakeFiles/whisper_os.dir/kernel_layout.cpp.o" "gcc" "src/os/CMakeFiles/whisper_os.dir/kernel_layout.cpp.o.d"
+  "/root/repo/src/os/machine.cpp" "src/os/CMakeFiles/whisper_os.dir/machine.cpp.o" "gcc" "src/os/CMakeFiles/whisper_os.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/whisper_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/whisper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/whisper_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/whisper_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_os.dir/kernel_layout.cpp.o"
+  "CMakeFiles/whisper_os.dir/kernel_layout.cpp.o.d"
+  "CMakeFiles/whisper_os.dir/machine.cpp.o"
+  "CMakeFiles/whisper_os.dir/machine.cpp.o.d"
+  "libwhisper_os.a"
+  "libwhisper_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_stats.dir/error_rate.cpp.o"
+  "CMakeFiles/whisper_stats.dir/error_rate.cpp.o.d"
+  "CMakeFiles/whisper_stats.dir/histogram.cpp.o"
+  "CMakeFiles/whisper_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/whisper_stats.dir/summary.cpp.o"
+  "CMakeFiles/whisper_stats.dir/summary.cpp.o.d"
+  "libwhisper_stats.a"
+  "libwhisper_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/whisper_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/whisper_uarch.dir/config.cpp.o"
+  "CMakeFiles/whisper_uarch.dir/config.cpp.o.d"
+  "CMakeFiles/whisper_uarch.dir/core.cpp.o"
+  "CMakeFiles/whisper_uarch.dir/core.cpp.o.d"
+  "CMakeFiles/whisper_uarch.dir/pmu.cpp.o"
+  "CMakeFiles/whisper_uarch.dir/pmu.cpp.o.d"
+  "CMakeFiles/whisper_uarch.dir/trace.cpp.o"
+  "CMakeFiles/whisper_uarch.dir/trace.cpp.o.d"
+  "libwhisper_uarch.a"
+  "libwhisper_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

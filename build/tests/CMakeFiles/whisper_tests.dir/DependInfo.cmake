@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyzer_toolset.cpp" "tests/CMakeFiles/whisper_tests.dir/test_analyzer_toolset.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_analyzer_toolset.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/whisper_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_avx.cpp" "tests/CMakeFiles/whisper_tests.dir/test_avx.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_avx.cpp.o.d"
+  "/root/repo/tests/test_bpu_pmu.cpp" "tests/CMakeFiles/whisper_tests.dir/test_bpu_pmu.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_bpu_pmu.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/whisper_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_eviction_pp.cpp" "tests/CMakeFiles/whisper_tests.dir/test_eviction_pp.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_eviction_pp.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/whisper_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_gadget_listings.cpp" "tests/CMakeFiles/whisper_tests.dir/test_gadget_listings.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_gadget_listings.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/whisper_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_kernel_victim.cpp" "tests/CMakeFiles/whisper_tests.dir/test_kernel_victim.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_kernel_victim.cpp.o.d"
+  "/root/repo/tests/test_memory_details.cpp" "tests/CMakeFiles/whisper_tests.dir/test_memory_details.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_memory_details.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/whisper_tests.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_os.cpp" "tests/CMakeFiles/whisper_tests.dir/test_os.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_os.cpp.o.d"
+  "/root/repo/tests/test_page_table.cpp" "tests/CMakeFiles/whisper_tests.dir/test_page_table.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_page_table.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/whisper_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pipeline_limits.cpp" "tests/CMakeFiles/whisper_tests.dir/test_pipeline_limits.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_pipeline_limits.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/whisper_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/whisper_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tet_effect.cpp" "tests/CMakeFiles/whisper_tests.dir/test_tet_effect.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_tet_effect.cpp.o.d"
+  "/root/repo/tests/test_tlb_cache.cpp" "tests/CMakeFiles/whisper_tests.dir/test_tlb_cache.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_tlb_cache.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/whisper_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/whisper_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/whisper_tests.dir/test_transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/whisper_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/whisper_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/whisper_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/whisper_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/whisper_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/whisper_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/whisper_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
