@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -38,5 +39,33 @@ inline void subheading(const std::string& title) {
 }
 
 inline const char* mark(bool ok) { return ok ? "✓" : "✗"; }
+
+/// Flags shared by the runner-backed harnesses:
+///   --jobs N      worker threads (0/auto = hardware concurrency; default 1,
+///                 the sequential reference — results are identical either
+///                 way, see whisper::runner)
+///   --progress    per-trial completion lines on stderr
+///   --json PATH   write the run's trajectory as JSON
+struct HarnessArgs {
+  int jobs = 1;
+  bool progress = false;
+  std::string json;
+};
+
+inline HarnessArgs parse_harness_args(int argc, char** argv) {
+  HarnessArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" && i + 1 < argc) {
+      const std::string v = argv[++i];
+      out.jobs = (v == "auto") ? 0 : std::atoi(v.c_str());
+    } else if (a == "--progress") {
+      out.progress = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      out.json = argv[++i];
+    }
+  }
+  return out;
+}
 
 }  // namespace whisper::bench

@@ -7,45 +7,71 @@
 //   such that the not trigger path does not encounter the mfence before the
 //   rollback, the opposite result is obtained, with fewer µops being issued
 //   in the trigger path."
+//
+// Each padding point is measured on its own private machine (warmed the
+// same way), so the sweep fans out across the whisper::runner Executor
+// (`--jobs N`) with rows bit-identical to the sequential order.
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "core/pmu_toolset.h"
 #include "os/machine.h"
+#include "runner/executor.h"
 
 using namespace whisper;
 
-int main() {
+namespace {
+
+struct Row {
+  double uops_base = 0, uops_var = 0;
+  double recov_base = 0, recov_var = 0;
+  [[nodiscard]] double delta() const { return uops_var - uops_base; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::HarnessArgs args = bench::parse_harness_args(argc, argv);
   bench::heading("Figure 4 — Transient-execution control flow (i7-6700 "
                  "model): UOPS_ISSUED.ANY / INT_MISC.RECOVERY_CYCLES vs "
                  "nop padding");
 
-  os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
-  core::PmuToolset ts(m);
+  const int pads[] = {0, 8, 16, 32, 48, 64, 96, 128, 192};
+  const std::size_t n_pads = sizeof(pads) / sizeof(pads[0]);
+
+  runner::Executor ex(args.jobs);
+  runner::Progress meter("fig4_flow", n_pads, args.progress);
+  runner::WallTimer timer;
+  const std::vector<Row> rows = ex.map(
+      n_pads,
+      [&pads](std::size_t i) {
+        os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+        core::PmuToolset ts(m);
+        const auto base = core::scenario_flow(false, pads[i]);
+        const auto var = core::scenario_flow(true, pads[i]);
+        base(m);
+        var(m);
+        const auto uops =
+            ts.measure(uarch::PmuEvent::UOPS_ISSUED_ANY, base, var);
+        const auto recov =
+            ts.measure(uarch::PmuEvent::INT_MISC_RECOVERY_CYCLES, base, var);
+        return Row{uops.baseline, uops.variant, recov.baseline,
+                   recov.variant};
+      },
+      &meter);
+  meter.finish(timer.seconds(), ex.jobs());
 
   std::printf("%8s | %12s %12s %8s | %12s %12s\n", "pad nops",
               "uops !trig", "uops trig", "delta", "recov !trig",
               "recov trig");
   std::printf("%s\n", std::string(78, '-').c_str());
+  for (std::size_t i = 0; i < n_pads; ++i)
+    std::printf("%8d | %12.0f %12.0f %+8.0f | %12.0f %12.0f\n", pads[i],
+                rows[i].uops_base, rows[i].uops_var, rows[i].delta(),
+                rows[i].recov_base, rows[i].recov_var);
 
-  double first_delta = 0, last_delta = 0;
-  const int pads[] = {0, 8, 16, 32, 48, 64, 96, 128, 192};
-  for (int pad : pads) {
-    const auto base = core::scenario_flow(false, pad);
-    const auto var = core::scenario_flow(true, pad);
-    base(m);
-    var(m);
-    const auto uops =
-        ts.measure(uarch::PmuEvent::UOPS_ISSUED_ANY, base, var);
-    const auto recov =
-        ts.measure(uarch::PmuEvent::INT_MISC_RECOVERY_CYCLES, base, var);
-    std::printf("%8d | %12.0f %12.0f %+8.0f | %12.0f %12.0f\n", pad,
-                uops.baseline, uops.variant, uops.delta(), recov.baseline,
-                recov.variant);
-    if (pad == pads[0]) first_delta = uops.delta();
-    last_delta = uops.delta();
-  }
-
+  const double first_delta = rows.front().delta();
+  const double last_delta = rows.back().delta();
   std::printf("\npath ③ evidence: with no padding the TRIGGER path issues "
               "more uops (delta %+.0f);\nwith long padding the sign flips "
               "(delta %+.0f) because the not-trigger path streams nops while "

@@ -9,86 +9,96 @@
 //
 // We reproduce the same experiment shapes; absolute rates live on the
 // model's cycle clock (see EXPERIMENTS.md for the comparison discussion).
+//
+// All four experiments run through whisper::runner: every (spec, trial)
+// pair is an independent task, so `--jobs N` fans the heavy channel
+// transmissions out across cores with results bit-identical to `--jobs 1`
+// (docs/REPRODUCING.md §4.1).
 #include <cmath>
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "core/attacks/kaslr.h"
-#include "core/attacks/meltdown.h"
-#include "core/attacks/spectre_rsb.h"
-#include "core/covert_channel.h"
-#include "os/machine.h"
-#include "stats/summary.h"
+#include "runner/json_writer.h"
+#include "runner/runner.h"
+#include "stats/error_rate.h"
 
 using namespace whisper;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::HarnessArgs args = bench::parse_harness_args(argc, argv);
   bench::heading("Section 4.1 — Experiment setup and result");
 
-  // --- TET-CC, 1k random bytes, i7-7700 ------------------------------------
-  {
-    os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
-    core::TetCovertChannel cc(m, {.batches = 3});
-    const auto payload = bench::random_bytes(1024, 0x41);
-    const auto rep = cc.transmit(payload);
-    std::printf("TET-CC   i7-7700    : %-45s (paper: 500 B/s, err < 5%%)\n",
-                rep.to_string().c_str());
-  }
+  runner::RunSpec cc;
+  cc.model = uarch::CpuModel::KabyLakeI7_7700;
+  cc.attack = runner::Attack::Cc;
+  cc.batches = 3;
+  cc.payload_bytes = 1024;
+  cc.payload_seed = 0x41;
 
-  // --- TET-MD, i7-7700 (256 bytes; same per-byte procedure as 1k) ----------
-  {
-    os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
-    const auto secret = bench::random_bytes(256, 0x42);
-    const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-    core::TetMeltdown atk(m, {.batches = 6});
-    const std::uint64_t start = m.core().cycle();
-    const auto leaked = atk.leak(kaddr, secret.size());
-    const std::uint64_t cycles = m.core().cycle() - start;
-    const auto rep =
-        stats::evaluate_channel(secret, leaked, cycles, m.config().ghz);
-    std::printf("TET-MD   i7-7700    : %-45s (paper: 50 B/s, err < 3%%)\n",
-                rep.to_string().c_str());
-  }
+  runner::RunSpec md;
+  md.model = uarch::CpuModel::KabyLakeI7_7700;
+  md.attack = runner::Attack::Md;
+  md.batches = 6;
+  md.payload_bytes = 256;  // same per-byte procedure as 1k
+  md.payload_seed = 0x42;
 
-  // --- TET-RSB, 1k random bytes, i9-13900K ---------------------------------
-  {
-    os::Machine m({.model = uarch::CpuModel::RaptorLakeI9_13900K});
-    const auto secret = bench::random_bytes(1024, 0x43);
-    m.poke_bytes(os::Machine::kDataBase + 0x1000, secret);
-    core::TetSpectreRsb atk(m, {.batches = 2});
-    const std::uint64_t start = m.core().cycle();
-    const auto leaked =
-        atk.leak(os::Machine::kDataBase + 0x1000, secret.size());
-    const std::uint64_t cycles = m.core().cycle() - start;
-    const auto rep =
-        stats::evaluate_channel(secret, leaked, cycles, m.config().ghz);
-    std::printf("TET-RSB  i9-13900K  : %-45s (paper: 21.5 KB/s, "
-                "err < 0.1%%)\n",
-                rep.to_string().c_str());
-  }
+  runner::RunSpec rsb;
+  rsb.model = uarch::CpuModel::RaptorLakeI9_13900K;
+  rsb.attack = runner::Attack::Rsb;
+  rsb.batches = 2;
+  rsb.payload_bytes = 1024;
+  rsb.payload_seed = 0x43;
 
-  // --- TET-KASLR, i9-10980XE, n=3 -------------------------------------------
-  {
-    std::vector<double> times;
-    bool all_ok = true;
-    for (std::uint64_t seed : {101ull, 202ull, 303ull}) {
-      os::Machine m({.model = uarch::CpuModel::CometLakeI9_10980XE,
-                     .kernel = {.kpti = true},
-                     .seed = seed});
-      core::TetKaslr atk(m, {.rounds = 3});
-      const auto r = atk.run();
-      all_ok &= r.success;
-      times.push_back(r.seconds);
-    }
-    const auto s = stats::summarize(std::span<const double>(times));
-    std::printf("TET-KASLR i9-10980XE: broke KASLR (KPTI) in %.4f s "
-                "(n=%zu, sd=%.4f), all runs %s   (paper: 0.8829 s, n=3, "
-                "u=0.0036)\n",
-                s.mean, s.n, s.stdev, all_ok ? "succeeded" : "FAILED");
-  }
+  runner::RunSpec kaslr;
+  kaslr.model = uarch::CpuModel::CometLakeI9_10980XE;
+  kaslr.attack = runner::Attack::Kaslr;
+  kaslr.kernel.kpti = true;
+  kaslr.trials = 3;  // the paper's n=3
+  kaslr.rounds = 3;
+  kaslr.base_seed = 101;
+
+  runner::Executor ex(args.jobs);
+  const auto results = runner::run_many({cc, md, rsb, kaslr}, ex,
+                                        args.progress);
+
+  const auto channel_line = [](const runner::RunResult& r) {
+    const double rate =
+        r.seconds.mean > 0
+            ? static_cast<double>(r.total_bytes) / r.seconds.mean
+            : 0.0;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "%zu bytes, %zu byte errors (%.2f%%), %s over %.2f s (sim)",
+                  r.total_bytes, r.total_byte_errors,
+                  r.total_bytes
+                      ? 100.0 * static_cast<double>(r.total_byte_errors) /
+                            static_cast<double>(r.total_bytes)
+                      : 0.0,
+                  stats::format_rate(rate).c_str(), r.seconds.mean);
+    return std::string(buf);
+  };
+
+  std::printf("TET-CC   i7-7700    : %-45s (paper: 500 B/s, err < 5%%)\n",
+              channel_line(results[0]).c_str());
+  std::printf("TET-MD   i7-7700    : %-45s (paper: 50 B/s, err < 3%%)\n",
+              channel_line(results[1]).c_str());
+  std::printf("TET-RSB  i9-13900K  : %-45s (paper: 21.5 KB/s, err < 0.1%%)\n",
+              channel_line(results[2]).c_str());
+
+  const runner::RunResult& k = results[3];
+  std::printf("TET-KASLR i9-10980XE: broke KASLR (KPTI) in %.4f s "
+              "(n=%zu, sd=%.4f), all runs %s   (paper: 0.8829 s, n=3, "
+              "u=0.0036)\n",
+              k.seconds.mean, k.seconds.n,
+              k.seconds.stdev, k.all_succeeded() ? "succeeded" : "FAILED");
 
   std::printf("\nShape check: TET-RSB >> TET-CC >> TET-MD in throughput "
               "(no fault vs TSX abort vs signal per probe),\nTET-KASLR "
               "sub-second over 512 slots — same ordering as the paper.\n");
+
+  if (!args.json.empty()) {
+    // Persist the heaviest trajectory (the TET-CC 1k-byte run).
+    runner::write_json_file(results[0], args.json);
+  }
   return 0;
 }

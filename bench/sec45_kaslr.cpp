@@ -1,13 +1,20 @@
 // §4.5 reproduction: the KASLR attack ladder — plain KASLR, KASLR+KPTI
 // (512 offsets, < 1 s), KASLR+KPTI+FLARE, Docker — plus the
 // prefetch-timing baseline that FLARE defeats, and the AMD negative.
+//
+// The ten (scenario × attack) cells are independent simulations; they fan
+// out through the whisper::runner Executor (`--jobs N`), each on a private
+// os::Machine built from the scenario's fixed seed, so the table is
+// bit-identical at any job count.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "baseline/prefetch_kaslr.h"
 #include "bench/bench_util.h"
 #include "core/attacks/kaslr.h"
 #include "os/machine.h"
+#include "runner/executor.h"
 
 using namespace whisper;
 
@@ -22,7 +29,8 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::HarnessArgs args = bench::parse_harness_args(argc, argv);
   bench::heading("Section 4.5 — TET-KASLR attack: breaking KASLR");
 
   const uarch::CpuModel cml = uarch::CpuModel::CometLakeI9_10980XE;
@@ -46,33 +54,42 @@ int main() {
        "-"},
   };
 
+  // Cell k: scenario k/2, TET-KASLR when k is even, prefetch baseline when
+  // odd. Each worker builds its own Machine — nothing is shared.
+  runner::Executor ex(args.jobs);
+  runner::Progress meter("sec45_kaslr", scenarios.size() * 2, args.progress);
+  runner::WallTimer timer;
+  const std::vector<std::string> cells = ex.map(
+      scenarios.size() * 2,
+      [&scenarios](std::size_t k) {
+        const Scenario& sc = scenarios[k / 2];
+        os::Machine m(sc.options);
+        char buf[96];
+        if (k % 2 == 0) {
+          core::TetKaslr atk(m, {.rounds = 3});
+          const auto r = atk.run();
+          std::snprintf(buf, sizeof buf, "%s slot %3d, %.4f s, %zu probes",
+                        bench::mark(r.success), r.found_slot, r.seconds,
+                        r.probes);
+        } else {
+          baseline::PrefetchKaslr atk(m, {.rounds = 3});
+          const auto r = atk.run();
+          std::snprintf(buf, sizeof buf, "%s slot %3d, %.4f s",
+                        bench::mark(r.success), r.found_slot, r.seconds);
+        }
+        return std::string(buf);
+      },
+      &meter);
+  meter.finish(timer.seconds(), ex.jobs());
+
   std::printf("\n%-24s | %-28s | %-28s\n", "configuration",
               "TET-KASLR (model)", "prefetch baseline (model)");
   std::printf("%s\n", std::string(90, '-').c_str());
 
-  for (const Scenario& sc : scenarios) {
-    std::string tet_cell, pf_cell;
-    {
-      os::Machine m(sc.options);
-      core::TetKaslr atk(m, {.rounds = 3});
-      const auto r = atk.run();
-      char buf[96];
-      std::snprintf(buf, sizeof buf, "%s slot %3d, %.4f s, %zu probes",
-                    bench::mark(r.success), r.found_slot, r.seconds,
-                    r.probes);
-      tet_cell = buf;
-    }
-    {
-      os::Machine m(sc.options);
-      baseline::PrefetchKaslr atk(m, {.rounds = 3});
-      const auto r = atk.run();
-      char buf[96];
-      std::snprintf(buf, sizeof buf, "%s slot %3d, %.4f s",
-                    bench::mark(r.success), r.found_slot, r.seconds);
-      pf_cell = buf;
-    }
-    std::printf("%-24s | %-28s | %-28s\n", sc.name.c_str(), tet_cell.c_str(),
-                pf_cell.c_str());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
+    std::printf("%-24s | %-28s | %-28s\n", sc.name.c_str(),
+                cells[2 * i].c_str(), cells[2 * i + 1].c_str());
     std::printf("%-24s |   paper: %-36s baseline expectation: %s\n", "",
                 sc.paper_tet, sc.paper_prefetch);
   }

@@ -3,16 +3,16 @@
 // Paper columns: TET-CC, TET-MD, TET-ZBL, TET-RSB, TET-KASLR for the five
 // evaluation machines. We run each attack end-to-end against the model and
 // print our result next to the paper's symbol (✓ / ✗ / ? = not verified).
+//
+// Each of the 25 cells is one single-trial whisper::runner::RunSpec on its
+// own private os::Machine, fanned out through one Executor — `--jobs N`
+// parallelises the matrix with cell outcomes bit-identical to `--jobs 1`.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "core/attacks/kaslr.h"
-#include "core/attacks/meltdown.h"
-#include "core/attacks/spectre_rsb.h"
-#include "core/attacks/zombieload.h"
-#include "core/covert_channel.h"
-#include "os/machine.h"
+#include "runner/runner.h"
 
 using namespace whisper;
 
@@ -35,40 +35,46 @@ const PaperRow kPaper[] = {
     {uarch::CpuModel::Zen3Ryzen5_5600G, "✓", "✗", "✗", "?", "✗"},
 };
 
-bool run_cc(os::Machine& m) {
-  core::TetCovertChannel cc(m, {.batches = 3});
-  const auto payload = bench::random_bytes(8, 1);
-  return cc.transmit(payload).byte_errors == 0;
-}
-
-bool run_md(os::Machine& m) {
-  const auto secret = bench::random_bytes(4, 2);
-  const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-  core::TetMeltdown atk(m, {.batches = 4});
-  return atk.leak(kaddr, secret.size()) == secret;
-}
-
-bool run_zbl(os::Machine& m) {
-  const auto stream = bench::random_bytes(3, 3);
-  core::TetZombieload atk(m, {.batches = 4});
-  return atk.leak(stream) == stream;
-}
-
-bool run_rsb(os::Machine& m) {
-  const auto secret = bench::random_bytes(3, 4);
-  m.poke_bytes(os::Machine::kDataBase + 0x1000, secret);
-  core::TetSpectreRsb atk(m);
-  return atk.leak(os::Machine::kDataBase + 0x1000, secret.size()) == secret;
-}
-
-bool run_kaslr(os::Machine& m) {
-  core::TetKaslr atk(m, {.rounds = 2});
-  return atk.run().success;
+// One matrix cell. The per-attack knobs (payload sizes, batches, rounds)
+// mirror the sequential harness this replaces.
+runner::RunSpec cell_spec(uarch::CpuModel model, runner::Attack attack) {
+  runner::RunSpec spec;
+  spec.model = model;
+  spec.attack = attack;
+  spec.trials = 1;
+  spec.base_seed = 0x7ab1e2;
+  switch (attack) {
+    case runner::Attack::Cc:
+      spec.batches = 3;
+      spec.payload_bytes = 8;
+      spec.payload_seed = 1;
+      break;
+    case runner::Attack::Md:
+      spec.batches = 4;
+      spec.payload_bytes = 4;
+      spec.payload_seed = 2;
+      break;
+    case runner::Attack::Zbl:
+      spec.batches = 4;
+      spec.payload_bytes = 3;
+      spec.payload_seed = 3;
+      break;
+    case runner::Attack::Rsb:
+      spec.batches = 2;
+      spec.payload_bytes = 3;
+      spec.payload_seed = 4;
+      break;
+    default:  // Kaslr
+      spec.rounds = 2;
+      break;
+  }
+  return spec;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::HarnessArgs args = bench::parse_harness_args(argc, argv);
   bench::heading("Table 2 — Environment and experiments");
   std::printf("cell format: model-result (paper-result)\n\n");
   std::printf("%-24s %-12s %-10s %-12s %-12s %-12s %-12s %-12s\n", "CPU",
@@ -76,31 +82,35 @@ int main() {
               "TET-KASLR");
   std::printf("%s\n", std::string(110, '-').c_str());
 
+  const runner::Attack kColumns[] = {
+      runner::Attack::Cc, runner::Attack::Md, runner::Attack::Zbl,
+      runner::Attack::Rsb, runner::Attack::Kaslr};
+
+  std::vector<runner::RunSpec> specs;
+  for (const PaperRow& row : kPaper)
+    for (const runner::Attack a : kColumns) specs.push_back(cell_spec(row.model, a));
+
+  runner::Executor ex(args.jobs);
+  const auto results = runner::run_many(specs, ex, args.progress);
+
   bool all_match = true;
+  std::size_t cell = 0;
   for (const PaperRow& row : kPaper) {
     const uarch::CpuConfig cfg = uarch::make_config(row.model);
-    os::Machine m({.model = row.model});
-
-    const bool cc = run_cc(m);
-    const bool md = run_md(m);
-    const bool zbl = run_zbl(m);
-    const bool rsb = run_rsb(m);
-    const bool kaslr = run_kaslr(m);
-
-    auto cell = [&](bool got, const char* paper) {
-      std::string s = std::string(bench::mark(got)) + " (" + paper + ")";
+    const char* paper_cells[] = {row.cc, row.md, row.zbl, row.rsb, row.kaslr};
+    std::string cells[5];
+    for (int c = 0; c < 5; ++c) {
+      const bool got = results[cell++].all_succeeded();
+      const char* paper = paper_cells[c];
+      cells[c] = std::string(bench::mark(got)) + " (" + paper + ")";
       // '?' cells can't mismatch; otherwise compare.
-      if (std::string(paper) != "?" &&
-          (std::string(paper) == "✓") != got)
+      if (std::string(paper) != "?" && (std::string(paper) == "✓") != got)
         all_match = false;
-      return s;
-    };
-
+    }
     std::printf("%-24s %-12s %-10s %-14s %-14s %-14s %-14s %-14s\n",
                 cfg.name.c_str(), cfg.uarch_name.c_str(),
-                cfg.microcode.c_str(), cell(cc, row.cc).c_str(),
-                cell(md, row.md).c_str(), cell(zbl, row.zbl).c_str(),
-                cell(rsb, row.rsb).c_str(), cell(kaslr, row.kaslr).c_str());
+                cfg.microcode.c_str(), cells[0].c_str(), cells[1].c_str(),
+                cells[2].c_str(), cells[3].c_str(), cells[4].c_str());
   }
 
   std::printf("\n%s\n",

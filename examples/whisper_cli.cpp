@@ -3,11 +3,16 @@
 //   whisper_cli tote   [--cpu N] [--trigger|--no-trigger] [--trace]
 //   whisper_cli leak   [--cpu N] [--secret STRING] [--attack md|rsb|v1|zbl]
 //   whisper_cli kaslr  [--cpu N] [--kpti] [--flare] [--seed S]
-//   whisper_cli matrix
+//                      [--trials T] [--jobs J] [--json PATH]
+//   whisper_cli matrix [--jobs J]
 //   whisper_cli models
 //
 // CPU index N follows Table 2 order: 0=i7-6700, 1=i7-7700, 2=i9-10980XE,
 // 3=i9-13900K, 4=Ryzen 5600G.
+//
+// `kaslr --trials T --jobs J` and `matrix --jobs J` go through
+// whisper::runner: independent simulated machines fan out across J worker
+// threads with results bit-identical to --jobs 1 (docs/REPRODUCING.md).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +26,8 @@
 #include "core/attacks/zombieload.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
+#include "runner/json_writer.h"
+#include "runner/runner.h"
 #include "uarch/trace.h"
 
 using namespace whisper;
@@ -129,28 +136,88 @@ int cmd_leak(const Args& args) {
 }
 
 int cmd_kaslr(const Args& args) {
-  os::MachineOptions opts;
-  opts.model = cpu_from(args);
-  opts.kernel.kpti = args.has("--kpti");
-  opts.kernel.flare = args.has("--flare");
-  opts.seed = std::stoull(args.value("--seed", "0"));
-  os::Machine m(opts);
-  core::TetKaslr atk(m);
-  const auto r = atk.run();
-  std::printf("TET-KASLR on %s%s%s: %s  found %#llx true %#llx  (%.4f s, "
-              "%zu probes)\n",
-              m.config().name.c_str(), opts.kernel.kpti ? " +KPTI" : "",
-              opts.kernel.flare ? " +FLARE" : "",
-              r.success ? "BROKEN" : "held",
-              static_cast<unsigned long long>(r.found_base),
-              static_cast<unsigned long long>(r.true_base), r.seconds,
-              r.probes);
-  return r.success ? 0 : 1;
+  const int trials = std::stoi(args.value("--trials", "1"));
+  if (trials <= 1) {
+    // Single shot: the interactive view, with found vs true base.
+    os::MachineOptions opts;
+    opts.model = cpu_from(args);
+    opts.kernel.kpti = args.has("--kpti");
+    opts.kernel.flare = args.has("--flare");
+    opts.seed = std::stoull(args.value("--seed", "0"));
+    os::Machine m(opts);
+    core::TetKaslr atk(m);
+    const auto r = atk.run();
+    std::printf("TET-KASLR on %s%s%s: %s  found %#llx true %#llx  (%.4f s, "
+                "%zu probes)\n",
+                m.config().name.c_str(), opts.kernel.kpti ? " +KPTI" : "",
+                opts.kernel.flare ? " +FLARE" : "",
+                r.success ? "BROKEN" : "held",
+                static_cast<unsigned long long>(r.found_base),
+                static_cast<unsigned long long>(r.true_base), r.seconds,
+                r.probes);
+    return r.success ? 0 : 1;
+  }
+
+  // Multi-trial sweep through the parallel runner: every trial is a fresh
+  // machine with a fresh KASLR draw, seeded from --seed ⊕ trial index.
+  runner::RunSpec spec;
+  spec.model = cpu_from(args);
+  spec.attack = runner::Attack::Kaslr;
+  spec.trials = trials;
+  spec.kernel.kpti = args.has("--kpti");
+  spec.kernel.flare = args.has("--flare");
+  spec.base_seed = std::stoull(args.value("--seed", "1"));
+  const int jobs = std::stoi(args.value("--jobs", "1"));
+  const auto r = runner::run(spec, jobs, /*progress=*/true);
+  std::printf("TET-KASLR sweep: %s\n", spec.label().c_str());
+  std::printf("  broke KASLR in %zu/%zu trials; sim time %.4f s mean "
+              "(sd %.4f, min %.4f, max %.4f)\n",
+              r.successes, r.trials.size(), r.seconds.mean, r.seconds.stdev,
+              r.seconds.min, r.seconds.max);
+  std::printf("  %zu probes total; host wall %.2f s with %d jobs\n",
+              r.total_probes, r.wall_seconds, r.jobs);
+  const std::string json = args.value("--json", "");
+  if (!json.empty() && runner::write_json_file(r, json))
+    std::printf("  trajectory written to %s\n", json.c_str());
+  return r.all_succeeded() ? 0 : 1;
 }
 
-int cmd_matrix() {
-  std::printf("run build/bench/table2_matrix for the full Table 2 "
-              "reproduction.\n");
+int cmd_matrix(const Args& args) {
+  // The Table 2 matrix (5 CPUs × 5 attacks) through the parallel runner;
+  // bench/table2_matrix prints the full paper comparison.
+  const int jobs = std::stoi(args.value("--jobs", "1"));
+  const runner::Attack attacks[] = {
+      runner::Attack::Cc, runner::Attack::Md, runner::Attack::Zbl,
+      runner::Attack::Rsb, runner::Attack::Kaslr};
+
+  std::vector<runner::RunSpec> specs;
+  for (const uarch::CpuModel model : uarch::all_models())
+    for (const runner::Attack a : attacks) {
+      runner::RunSpec spec;
+      spec.model = model;
+      spec.attack = a;
+      spec.base_seed = 0x7ab1e2;
+      spec.payload_bytes = 4;
+      spec.batches = 4;
+      spec.rounds = 2;
+      specs.push_back(spec);
+    }
+
+  runner::Executor ex(jobs);
+  const auto results = runner::run_many(specs, ex, /*progress=*/true);
+
+  std::printf("%-24s %-8s %-8s %-8s %-8s %-8s\n", "CPU", "cc", "md", "zbl",
+              "rsb", "kaslr");
+  std::size_t cell = 0;
+  for (const uarch::CpuModel model : uarch::all_models()) {
+    const auto cfg = uarch::make_config(model);
+    std::printf("%-24s", cfg.name.c_str());
+    for (std::size_t c = 0; c < 5; ++c)
+      std::printf(" %-9s", results[cell++].all_succeeded() ? "✓" : "✗");
+    std::printf("\n");
+  }
+  std::printf("\n(run bench/table2_matrix for the paper-cell comparison; "
+              "--jobs N parallelises either)\n");
   return 0;
 }
 
@@ -164,7 +231,7 @@ int main(int argc, char** argv) {
   if (cmd == "tote") return cmd_tote(args);
   if (cmd == "leak") return cmd_leak(args);
   if (cmd == "kaslr") return cmd_kaslr(args);
-  if (cmd == "matrix") return cmd_matrix();
+  if (cmd == "matrix") return cmd_matrix(args);
   std::fprintf(stderr,
                "usage: whisper_cli <models|tote|leak|kaslr|matrix> "
                "[options]\n  see the header comment of examples/"

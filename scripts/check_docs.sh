@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Tier-2 docs check: docs/REPRODUCING.md and bench/ must stay in sync.
+#
+#   1. Every `bench/<name>` the guide references must exist as a harness
+#      source (bench/<name>.cpp) — no documenting binaries that were
+#      renamed or removed.
+#   2. Every harness in bench/ must be documented in the guide — adding a
+#      figure/table reproduction without telling people how to run it
+#      fails this check.
+#   3. When a build directory is given and contains the bench binaries,
+#      each documented binary must have been built.
+#
+# Usage: check_docs.sh <repo-root> [build-dir]
+# Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
+set -u
+
+root="${1:-.}"
+build="${2:-}"
+guide="$root/docs/REPRODUCING.md"
+fail=0
+
+if [[ ! -f "$guide" ]]; then
+  echo "FAIL: $guide does not exist"
+  exit 1
+fi
+
+# Names referenced as bench/<name> in the guide (strip code-fence noise).
+documented=$(grep -oE 'bench/[a-z0-9_]+' "$guide" | sed 's|bench/||' |
+             sort -u)
+
+# Harness sources in bench/ (bench_util.h is the shared header, not a
+# binary).
+harnesses=$(ls "$root"/bench/*.cpp | xargs -n1 basename | sed 's|\.cpp$||' |
+            sort -u)
+
+for name in $documented; do
+  if [[ ! -f "$root/bench/$name.cpp" ]]; then
+    echo "FAIL: docs/REPRODUCING.md references bench/$name but" \
+         "bench/$name.cpp does not exist"
+    fail=1
+  fi
+done
+
+for name in $harnesses; do
+  if ! grep -q "bench/$name" "$guide"; then
+    echo "FAIL: bench/$name.cpp is not documented in docs/REPRODUCING.md"
+    fail=1
+  fi
+done
+
+if [[ -n "$build" && -d "$build/bench" ]]; then
+  for name in $documented; do
+    if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
+      echo "FAIL: documented binary $build/bench/$name was not built"
+      fail=1
+    fi
+  done
+fi
+
+if [[ $fail -eq 0 ]]; then
+  echo "OK: $(echo "$documented" | wc -w) documented harnesses," \
+       "$(echo "$harnesses" | wc -w) bench sources, all in sync"
+fi
+exit $fail

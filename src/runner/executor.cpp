@@ -1,0 +1,47 @@
+#include "runner/executor.h"
+
+#include <cstdio>
+
+namespace whisper::runner {
+
+int default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
+}
+
+int resolve_jobs(int requested) {
+  return requested <= 0 ? default_jobs() : requested;
+}
+
+Progress::Progress(std::string label, std::size_t total, bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      enabled_(enabled),
+      last_print_(std::chrono::steady_clock::now()) {}
+
+void Progress::tick() {
+  const std::size_t done = done_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(print_mu_);
+  const auto now = std::chrono::steady_clock::now();
+  // At most ~4 lines/second, but always report the final item.
+  if (done != total_ && now - last_print_ < std::chrono::milliseconds(250))
+    return;
+  last_print_ = now;
+  std::fprintf(stderr, "%s: %zu/%zu trials (%.0f%%)\n", label_.c_str(), done,
+               total_, 100.0 * static_cast<double>(done) /
+                           static_cast<double>(total_ ? total_ : 1));
+}
+
+void Progress::finish(double wall_seconds, int jobs) {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(print_mu_);
+  std::fprintf(stderr, "%s: %zu/%zu trials done in %.2f s wall (jobs=%d)\n",
+               label_.c_str(), done_.load(), total_, wall_seconds, jobs);
+}
+
+Executor::Executor(int jobs) : jobs_(resolve_jobs(jobs)) {
+  if (jobs_ > 1) pool_ = std::make_unique<ThreadPool>(jobs_);
+}
+
+}  // namespace whisper::runner

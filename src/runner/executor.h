@@ -1,0 +1,105 @@
+// Trial executor: fan independent simulations out across cores with results
+// that are bit-identical to a sequential run.
+//
+// The determinism contract (docs/ARCHITECTURE.md "runner" section):
+//   * every work item is a pure function of its index — it builds its own
+//     os::Machine (or equivalent) from per-index state and shares nothing;
+//   * results land in a pre-sized vector slot keyed by index, so the merge
+//     step always reads them in index order;
+// hence the schedule (and the --jobs value) cannot influence any output.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runner/thread_pool.h"
+
+namespace whisper::runner {
+
+/// Worker count to use when the caller passes jobs <= 0 (the "--jobs 0"
+/// auto setting): std::thread::hardware_concurrency, at least 1.
+[[nodiscard]] int default_jobs();
+
+/// Parse a "--jobs N" style value: "0"/"auto" -> default_jobs(), else N.
+[[nodiscard]] int resolve_jobs(int requested);
+
+/// Thread-safe progress meter for long fan-outs; prints
+/// "label: k/n trials (p%)" lines to stderr, rate-limited so parallel
+/// sweeps don't flood the terminal. Disabled instances are no-ops.
+class Progress {
+ public:
+  Progress(std::string label, std::size_t total, bool enabled);
+
+  /// Record one finished work item (called from worker threads).
+  void tick();
+  /// Print the closing "n/n trials, wall Xs, jobs J" line.
+  void finish(double wall_seconds, int jobs);
+
+ private:
+  std::string label_;
+  std::size_t total_;
+  bool enabled_;
+  std::atomic<std::size_t> done_{0};
+  std::mutex print_mu_;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+/// Thread-pool-backed map over [0, n). `jobs == 1` is the degenerate
+/// sequential case and uses no threads at all, so it is also the reference
+/// behaviour the parallel path must reproduce bit-for-bit.
+class Executor {
+ public:
+  explicit Executor(int jobs);
+
+  [[nodiscard]] int jobs() const noexcept { return jobs_; }
+
+  /// Run fn(i) for every i in [0, n) and return the results in index order.
+  /// The result type must be default-constructible (slots are pre-sized).
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn, Progress* progress = nullptr)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<R> results(n);
+    if (!pool_ || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        results[i] = fn(i);
+        if (progress) progress->tick();
+      }
+      return results;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      pool_->submit([&results, &fn, progress, i] {
+        results[i] = fn(i);
+        if (progress) progress->tick();
+      });
+    pool_->wait_idle();
+    return results;
+  }
+
+ private:
+  int jobs_;
+  std::unique_ptr<ThreadPool> pool_;  // null when jobs_ == 1
+};
+
+/// Wall-clock stopwatch for the per-run timing line.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace whisper::runner

@@ -1,0 +1,232 @@
+#include "runner/json_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace whisper::runner {
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::escaped(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  escaped(k);
+  out_ += ':';
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  escaped(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(int v) { value(static_cast<std::int64_t>(v)); }
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+namespace {
+
+void write_histogram(JsonWriter& w, const stats::Histogram& h) {
+  w.begin_object();
+  w.key("total");
+  w.value(h.total());
+  w.key("buckets");
+  w.begin_array();
+  for (const auto& [value, count] : h.buckets()) {
+    w.begin_array();
+    w.value(value);
+    w.value(count);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_summary(JsonWriter& w, const stats::Summary& s) {
+  w.begin_object();
+  w.key("n");
+  w.value(static_cast<std::uint64_t>(s.n));
+  w.key("mean");
+  w.value(s.mean);
+  w.key("stdev");
+  w.value(s.stdev);
+  w.key("min");
+  w.value(s.min);
+  w.key("max");
+  w.value(s.max);
+  w.key("median");
+  w.value(s.median);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string to_json(const RunResult& r) {
+  JsonWriter w;
+  w.begin_object();
+
+  w.key("spec");
+  w.begin_object();
+  w.key("model");
+  w.value(uarch::make_config(r.spec.model).name);
+  w.key("attack");
+  w.value(to_string(r.spec.attack));
+  w.key("trials");
+  w.value(r.spec.trials);
+  w.key("base_seed");
+  w.value(r.spec.base_seed);
+  w.key("kpti");
+  w.value(r.spec.kernel.kpti);
+  w.key("flare");
+  w.value(r.spec.kernel.flare);
+  w.key("fgkaslr");
+  w.value(r.spec.kernel.fgkaslr);
+  w.key("docker");
+  w.value(r.spec.docker);
+  w.key("rounds");
+  w.value(r.spec.rounds);
+  w.key("batches");
+  w.value(r.spec.batches);
+  w.key("payload_bytes");
+  w.value(static_cast<std::uint64_t>(r.spec.payload_bytes));
+  w.key("payload_seed");
+  w.value(r.spec.payload_seed);
+  w.end_object();
+
+  w.key("jobs");
+  w.value(r.jobs);
+  w.key("wall_seconds");
+  w.value(r.wall_seconds);
+  w.key("successes");
+  w.value(static_cast<std::uint64_t>(r.successes));
+  w.key("total_probes");
+  w.value(static_cast<std::uint64_t>(r.total_probes));
+  w.key("total_bytes");
+  w.value(static_cast<std::uint64_t>(r.total_bytes));
+  w.key("total_byte_errors");
+  w.value(static_cast<std::uint64_t>(r.total_byte_errors));
+  w.key("sim_seconds");
+  write_summary(w, r.seconds);
+  w.key("tote");
+  write_histogram(w, r.tote);
+
+  w.key("trials_detail");
+  w.begin_array();
+  for (const TrialResult& t : r.trials) {
+    w.begin_object();
+    w.key("seed");
+    w.value(t.seed);
+    w.key("success");
+    w.value(t.success);
+    w.key("cycles");
+    w.value(t.cycles);
+    w.key("seconds");
+    w.value(t.seconds);
+    w.key("probes");
+    w.value(static_cast<std::uint64_t>(t.probes));
+    w.key("bytes");
+    w.value(static_cast<std::uint64_t>(t.bytes));
+    w.key("byte_errors");
+    w.value(static_cast<std::uint64_t>(t.byte_errors));
+    w.key("found_slot");
+    w.value(t.found_slot);
+    w.key("tote");
+    write_histogram(w, t.tote);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+bool write_json_file(const RunResult& r, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "runner: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string body = to_json(r);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (!ok)
+    std::fprintf(stderr, "runner: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace whisper::runner

@@ -1,0 +1,281 @@
+#include "runner/runner.h"
+
+#include <span>
+
+#include "core/attacks/kaslr.h"
+#include "core/attacks/meltdown.h"
+#include "core/attacks/spectre_rsb.h"
+#include "core/attacks/spectre_v1.h"
+#include "core/attacks/zombieload.h"
+#include "core/covert_channel.h"
+#include "os/machine.h"
+#include "stats/error_rate.h"
+#include "stats/rng.h"
+
+namespace whisper::runner {
+
+namespace {
+
+std::vector<std::uint8_t> payload_bytes(const RunSpec& spec) {
+  // run()/run_many() fold the trial index into payload_seed, so multi-trial
+  // channel runs move different payloads; a seed of K reproduces
+  // bench_util's random_bytes(n, K) stream exactly.
+  stats::Xoshiro256 rng(spec.payload_seed);
+  std::vector<std::uint8_t> out(spec.payload_bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+void fill_channel_result(TrialResult& t, const os::Machine& /*m*/,
+                         std::span<const std::uint8_t> sent,
+                         std::span<const std::uint8_t> got) {
+  t.bytes = sent.size();
+  for (std::size_t i = 0; i < sent.size(); ++i)
+    if (i >= got.size() || got[i] != sent[i]) ++t.byte_errors;
+  t.success = t.byte_errors == 0;
+}
+
+}  // namespace
+
+const char* to_string(Attack a) {
+  switch (a) {
+    case Attack::Cc: return "cc";
+    case Attack::Md: return "md";
+    case Attack::Zbl: return "zbl";
+    case Attack::Rsb: return "rsb";
+    case Attack::V1: return "v1";
+    case Attack::Kaslr: return "kaslr";
+  }
+  return "?";
+}
+
+std::optional<Attack> attack_from_string(std::string_view s) {
+  if (s == "cc") return Attack::Cc;
+  if (s == "md") return Attack::Md;
+  if (s == "zbl") return Attack::Zbl;
+  if (s == "rsb") return Attack::Rsb;
+  if (s == "v1") return Attack::V1;
+  if (s == "kaslr") return Attack::Kaslr;
+  return std::nullopt;
+}
+
+std::string RunSpec::label() const {
+  std::string out = "tet-";
+  out += to_string(attack);
+  out += " @ ";
+  out += uarch::make_config(model).name;
+  if (kernel.kpti) out += " +KPTI";
+  if (kernel.flare) out += " +FLARE";
+  if (docker) out += " (docker)";
+  out += " x" + std::to_string(trials);
+  return out;
+}
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t index) {
+  const std::uint64_t s = stats::SplitMix64(base_seed ^ index).next();
+  return s ? s : 1;  // 0 would mean "derive from the CPU preset"
+}
+
+TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
+  TrialResult t;
+  t.seed = seed;
+
+  os::MachineOptions mo;
+  mo.model = spec.model;
+  mo.kernel = spec.kernel;
+  mo.docker = spec.docker;
+  mo.seed = seed;
+  os::Machine m(mo);
+
+  switch (spec.attack) {
+    case Attack::Cc: {
+      core::TetCovertChannel::Options opt;
+      if (spec.batches > 0) opt.batches = spec.batches;
+      core::TetCovertChannel cc(m, opt);
+      const auto sent = payload_bytes(spec);
+      const stats::ChannelReport rep = cc.transmit(sent);
+      t.bytes = rep.bytes;
+      t.byte_errors = rep.byte_errors;
+      t.success = rep.byte_errors == 0;
+      t.cycles = rep.sim_cycles;
+      t.seconds = rep.seconds;
+      t.probes = cc.stats().probes;
+      t.tote = cc.last_analysis().tote_histogram();
+      break;
+    }
+    case Attack::Md: {
+      const auto secret = payload_bytes(spec);
+      const std::uint64_t kaddr = m.plant_kernel_secret(secret);
+      core::TetMeltdown::Options opt;
+      if (spec.batches > 0) opt.batches = spec.batches;
+      core::TetMeltdown atk(m, opt);
+      const std::uint64_t start = m.core().cycle();
+      const auto got = atk.leak(kaddr, secret.size());
+      t.cycles = m.core().cycle() - start;
+      t.seconds = m.seconds(t.cycles);
+      t.probes = atk.stats().probes;
+      t.tote = atk.last_analysis().tote_histogram();
+      fill_channel_result(t, m, secret, got);
+      break;
+    }
+    case Attack::Zbl: {
+      const auto stream = payload_bytes(spec);
+      core::TetZombieload::Options opt;
+      if (spec.batches > 0) opt.batches = spec.batches;
+      core::TetZombieload atk(m, opt);
+      const std::uint64_t start = m.core().cycle();
+      const auto got = atk.leak(stream);
+      t.cycles = m.core().cycle() - start;
+      t.seconds = m.seconds(t.cycles);
+      t.probes = atk.stats().probes;
+      t.tote = atk.last_analysis().tote_histogram();
+      fill_channel_result(t, m, stream, got);
+      break;
+    }
+    case Attack::Rsb: {
+      const auto secret = payload_bytes(spec);
+      m.poke_bytes(os::Machine::kDataBase + 0x1000, secret);
+      core::TetSpectreRsb::Options opt;
+      if (spec.batches > 0) opt.batches = spec.batches;
+      core::TetSpectreRsb atk(m, opt);
+      const std::uint64_t start = m.core().cycle();
+      const auto got =
+          atk.leak(os::Machine::kDataBase + 0x1000, secret.size());
+      t.cycles = m.core().cycle() - start;
+      t.seconds = m.seconds(t.cycles);
+      t.probes = atk.stats().probes;
+      t.tote = atk.last_analysis().tote_histogram();
+      fill_channel_result(t, m, secret, got);
+      break;
+    }
+    case Attack::V1: {
+      const auto secret = payload_bytes(spec);
+      core::TetSpectreV1::Options opt;
+      if (spec.batches > 0) opt.batches = spec.batches;
+      core::TetSpectreV1 atk(m, opt);
+      const std::uint64_t addr = core::TetSpectreV1::kArrayBase + 0x80;
+      m.poke_bytes(addr, secret);
+      const std::uint64_t start = m.core().cycle();
+      const auto got = atk.leak(addr, secret.size());
+      t.cycles = m.core().cycle() - start;
+      t.seconds = m.seconds(t.cycles);
+      t.probes = atk.stats().probes;
+      t.tote = atk.last_analysis().tote_histogram();
+      fill_channel_result(t, m, secret, got);
+      break;
+    }
+    case Attack::Kaslr: {
+      core::TetKaslr::Options kopt;
+      kopt.rounds = spec.rounds;
+      core::TetKaslr atk(m, kopt);
+      const core::TetKaslr::Result r = atk.run();
+      t.success = r.success;
+      t.cycles = r.cycles;
+      t.seconds = r.seconds;
+      t.probes = r.probes;
+      t.found_slot = r.found_slot;
+      for (const std::uint64_t score : r.slot_scores)
+        t.tote.add(static_cast<std::int64_t>(score));
+      break;
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// One trial of `spec` as run()/run_many() schedule it: seed and payload
+/// stream both derived from the trial index.
+TrialResult run_indexed_trial(const RunSpec& spec, std::size_t i) {
+  RunSpec per_trial = spec;
+  // Decorrelate the payload stream per trial alongside the seed.
+  per_trial.payload_seed = spec.payload_seed ^ i;
+  return run_trial(per_trial, trial_seed(spec.base_seed, i));
+}
+
+/// The merge step: fold per-trial results, strictly in trial index order.
+RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
+                       std::vector<TrialResult> trials) {
+  RunResult out;
+  out.spec = spec;
+  out.jobs = jobs;
+  out.wall_seconds = wall_seconds;
+  out.trials = std::move(trials);
+  std::vector<double> secs;
+  secs.reserve(out.trials.size());
+  for (const TrialResult& t : out.trials) {
+    out.successes += t.success ? 1 : 0;
+    out.total_probes += t.probes;
+    out.total_bytes += t.bytes;
+    out.total_byte_errors += t.byte_errors;
+    out.cycles.add(static_cast<double>(t.cycles));
+    out.tote.merge(t.tote);
+    secs.push_back(t.seconds);
+  }
+  out.seconds = stats::summarize(std::span<const double>(secs));
+  return out;
+}
+
+}  // namespace
+
+RunResult run(const RunSpec& spec, Executor& ex, bool progress) {
+  const std::size_t n =
+      spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
+  Progress meter(spec.label(), n, progress);
+  WallTimer timer;
+  std::vector<TrialResult> trials = ex.map(
+      n, [&spec](std::size_t i) { return run_indexed_trial(spec, i); },
+      &meter);
+  const double wall = timer.seconds();
+  meter.finish(wall, ex.jobs());
+  return merge_trials(spec, ex.jobs(), wall, std::move(trials));
+}
+
+RunResult run(const RunSpec& spec, int jobs, bool progress) {
+  Executor ex(jobs);
+  return run(spec, ex, progress);
+}
+
+std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
+                                Executor& ex, bool progress) {
+  // Flatten every (spec, trial) pair into one task list so a matrix of
+  // small cells still fills the pool.
+  struct Task {
+    std::size_t spec_idx;
+    std::size_t trial_idx;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const int n = specs[s].trials;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n > 0 ? n : 0); ++i)
+      tasks.push_back({s, i});
+  }
+
+  Progress meter("runner: " + std::to_string(specs.size()) + " specs",
+                 tasks.size(), progress);
+  WallTimer timer;
+  std::vector<TrialResult> flat = ex.map(
+      tasks.size(),
+      [&](std::size_t k) {
+        return run_indexed_trial(specs[tasks[k].spec_idx],
+                                 tasks[k].trial_idx);
+      },
+      &meter);
+  const double wall = timer.seconds();
+  meter.finish(wall, ex.jobs());
+
+  std::vector<RunResult> out;
+  out.reserve(specs.size());
+  std::size_t next = 0;
+  for (const RunSpec& spec : specs) {
+    const std::size_t n =
+        spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
+    std::vector<TrialResult> trials(flat.begin() + next,
+                                    flat.begin() + next + n);
+    next += n;
+    out.push_back(merge_trials(spec, ex.jobs(), wall, std::move(trials)));
+  }
+  return out;
+}
+
+}  // namespace whisper::runner

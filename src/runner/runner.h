@@ -1,0 +1,125 @@
+// whisper::runner — the parallel experiment runner.
+//
+// A RunSpec names one experiment cell: cpu model × attack × trial count ×
+// knobs. run() fans the trials out across an Executor's thread pool; each
+// trial builds a private os::Machine seeded with trial_seed(base, index), so
+// the trial stream is a pure function of the spec and the results are
+// bit-identical whatever --jobs is. The merge step folds the per-trial
+// stats::Histogram / per-trial timings into one RunResult, always in trial
+// index order.
+//
+//   runner::RunSpec spec{.model = uarch::CpuModel::CometLakeI9_10980XE,
+//                        .attack = runner::Attack::Kaslr,
+//                        .trials = 32,
+//                        .kernel = {.kpti = true}};
+//   runner::Executor ex(/*jobs=*/8);
+//   const runner::RunResult r = runner::run(spec, ex);
+//
+// docs/REPRODUCING.md maps every paper figure/table to the spec that
+// reproduces it; write_json_file() (json_writer.h) persists trajectories.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/kernel_layout.h"
+#include "runner/executor.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "uarch/config.h"
+
+namespace whisper::runner {
+
+/// The paper's attack set (Table 2 columns) plus the Spectre-V1 extension.
+enum class Attack : std::uint8_t { Cc, Md, Zbl, Rsb, V1, Kaslr };
+
+[[nodiscard]] const char* to_string(Attack a);
+/// Parse "cc" / "md" / "zbl" / "rsb" / "v1" / "kaslr" (as whisper_cli spells
+/// them); returns nullopt for anything else.
+[[nodiscard]] std::optional<Attack> attack_from_string(std::string_view s);
+
+/// One experiment cell. Everything a trial depends on lives here; nothing is
+/// read from globals, which is what makes the fan-out safe.
+struct RunSpec {
+  uarch::CpuModel model = uarch::CpuModel::KabyLakeI7_7700;
+  Attack attack = Attack::Kaslr;
+  int trials = 1;
+  std::uint64_t base_seed = 1;
+  os::KernelOptions kernel{};
+  bool docker = false;
+
+  // Attack knobs. 0 / default means "use the attack's own default".
+  int rounds = 3;     // TET-KASLR probes per slot
+  int batches = 0;    // argmax batches per byte (channel attacks)
+  std::size_t payload_bytes = 8;     // bytes moved per channel trial
+  std::uint64_t payload_seed = 0x5eedULL;  // RNG stream for the payload
+
+  /// Human-readable "attack @ model ×trials" label for progress lines.
+  [[nodiscard]] std::string label() const;
+};
+
+/// What one trial produced. Channel attacks fill bytes/byte_errors; KASLR
+/// fills found_slot. `tote` is the trial's ToTE histogram (the Fig. 1b
+/// frequency view for channels, per-slot scores for KASLR) — merged across
+/// trials by RunResult.
+struct TrialResult {
+  std::uint64_t seed = 0;
+  bool success = false;
+  std::uint64_t cycles = 0;  // simulated cycles consumed by the trial
+  double seconds = 0.0;      // cycles on the model's clock
+  std::size_t probes = 0;    // gadget executions
+  std::size_t bytes = 0;
+  std::size_t byte_errors = 0;
+  int found_slot = -1;
+  stats::Histogram tote;
+};
+
+/// A finished RunSpec: the ordered per-trial results plus the merged view.
+struct RunResult {
+  RunSpec spec;
+  int jobs = 1;
+  double wall_seconds = 0.0;  // host wall clock for the whole fan-out
+  std::vector<TrialResult> trials;
+
+  // Merge step (always folded in trial index order):
+  std::size_t successes = 0;
+  std::size_t total_probes = 0;
+  std::size_t total_bytes = 0;
+  std::size_t total_byte_errors = 0;
+  stats::Summary seconds;     // over per-trial simulated seconds
+  stats::OnlineStats cycles;  // over per-trial simulated cycles
+  stats::Histogram tote;      // all trials' ToTE observations merged
+
+  [[nodiscard]] bool all_succeeded() const noexcept {
+    return successes == trials.size();
+  }
+};
+
+/// Per-trial seed derivation: base ⊕ trial index, whitened through
+/// SplitMix64 so adjacent trials get decorrelated jitter streams, and kept
+/// non-zero (0 tells os::Machine "use the CPU preset's seed").
+[[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
+                                       std::uint64_t index);
+
+/// Run a single trial of `spec` on a fresh Machine seeded with `seed`.
+/// Pure: no shared state, safe to call from any thread.
+[[nodiscard]] TrialResult run_trial(const RunSpec& spec, std::uint64_t seed);
+
+/// Fan spec.trials out over the executor and merge. With `progress`,
+/// per-trial completion lines go to stderr.
+[[nodiscard]] RunResult run(const RunSpec& spec, Executor& ex,
+                            bool progress = false);
+/// Convenience overload: a private Executor with `jobs` workers.
+[[nodiscard]] RunResult run(const RunSpec& spec, int jobs,
+                            bool progress = false);
+
+/// Run several specs through one pool: every (spec, trial) pair becomes one
+/// task, so a matrix of single-trial cells still saturates the workers.
+/// Results come back in spec order, each merged exactly as run() merges.
+[[nodiscard]] std::vector<RunResult> run_many(
+    const std::vector<RunSpec>& specs, Executor& ex, bool progress = false);
+
+}  // namespace whisper::runner

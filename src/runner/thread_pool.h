@@ -1,0 +1,51 @@
+// Fixed-size worker pool backing the trial executor.
+//
+// Deliberately minimal: submit void() tasks, wait for the queue to drain.
+// Result ordering and determinism are the Executor's job (it writes each
+// trial's result into a pre-sized slot keyed by trial index), so the pool
+// needs no futures and no ordering guarantees of its own.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace whisper::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw; a trial's failure is data, not an
+  /// exception (the Executor wraps user callables accordingly).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has run to completion.
+  void wait_idle();
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;  // workers: queue non-empty or stopping
+  std::condition_variable cv_idle_;  // wait_idle: queue empty and none running
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace whisper::runner

@@ -57,6 +57,34 @@ void OnlineStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Summary OnlineStats::summary() const noexcept {
+  Summary s;
+  s.n = n_;
+  if (n_ == 0) return s;
+  s.mean = mean_;
+  s.stdev = stdev();
+  s.min = min_;
+  s.max = max_;
+  s.median = mean_;
+  return s;
+}
+
 double OnlineStats::variance() const noexcept {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

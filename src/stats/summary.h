@@ -22,16 +22,24 @@ struct Summary {
 [[nodiscard]] Summary summarize(std::span<const std::int64_t> xs);
 
 /// Welford online accumulator, for long-running collection without storing
-/// every sample.
+/// every sample. Mergeable (Chan et al. parallel variance), so per-worker
+/// accumulators fan in to one result — the runner's merge step relies on
+/// merge order not mattering for n/mean/min/max and only at floating-point
+/// rounding level for the variance.
 class OnlineStats {
  public:
   void add(double x) noexcept;
+  /// Fold another accumulator in, as if its samples had been add()ed here.
+  void merge(const OnlineStats& other) noexcept;
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const noexcept;  // sample variance
   [[nodiscard]] double stdev() const noexcept;
   [[nodiscard]] double min() const noexcept { return min_; }
   [[nodiscard]] double max() const noexcept { return max_; }
+  /// Snapshot as a Summary. Medians need the full sample set, which an
+  /// online accumulator does not keep; `median` is reported as the mean.
+  [[nodiscard]] Summary summary() const noexcept;
 
  private:
   std::size_t n_ = 0;

@@ -157,6 +157,45 @@ TEST(OnlineStatsTest, AgreesWithBatchSummary) {
   EXPECT_DOUBLE_EQ(os.max(), s.max);
 }
 
+TEST(OnlineStatsTest, MergeEqualsSequentialAdd) {
+  // Chan et al. parallel variance: splitting a stream across accumulators
+  // and merging must agree with one accumulator seeing everything — the
+  // runner's merge step depends on this.
+  Xoshiro256 r(17);
+  OnlineStats whole, left, right, empty;
+  for (int i = 0; i < 400; ++i) {
+    const double x = r.next_double() * 50 - 25;
+    whole.add(x);
+    (i % 3 == 0 ? left : right).add(x);
+  }
+  OnlineStats merged = left;
+  merged.merge(right);
+  EXPECT_EQ(merged.n(), whole.n());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  // Merging with an empty accumulator is the identity, both ways.
+  merged.merge(empty);
+  EXPECT_EQ(merged.n(), whole.n());
+  OnlineStats from_empty;
+  from_empty.merge(whole);
+  EXPECT_EQ(from_empty.n(), whole.n());
+  EXPECT_NEAR(from_empty.stdev(), whole.stdev(), 1e-12);
+}
+
+TEST(OnlineStatsTest, SummarySnapshot) {
+  OnlineStats os;
+  os.add(1.0);
+  os.add(3.0);
+  const Summary s = os.summary();
+  EXPECT_EQ(s.n, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(OnlineStats{}.summary().n, 0u);
+}
+
 TEST(ChannelReportTest, CountsByteAndBitErrors) {
   const std::vector<std::uint8_t> sent = {0x00, 0xff, 0x0f, 0xaa};
   const std::vector<std::uint8_t> recv = {0x00, 0xfe, 0x0f, 0x55};
