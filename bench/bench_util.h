@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "isa/isa.h"
+#include "obs/metrics.h"
 #include "stats/rng.h"
 
 namespace whisper::bench {
@@ -41,15 +42,24 @@ inline void subheading(const std::string& title) {
 inline const char* mark(bool ok) { return ok ? "✓" : "✗"; }
 
 /// Flags shared by the runner-backed harnesses:
-///   --jobs N      worker threads (0/auto = hardware concurrency; default 1,
-///                 the sequential reference — results are identical either
-///                 way, see whisper::runner)
-///   --progress    per-trial completion lines on stderr
-///   --json PATH   write the run's trajectory as JSON
+///   --jobs N           worker threads (0/auto = hardware concurrency;
+///                      default 1, the sequential reference — results are
+///                      identical either way, see whisper::runner)
+///   --progress         per-trial completion lines on stderr
+///   --json PATH        write the run's trajectory as JSON
+///   --trace-out PATH   write a Chrome trace-event JSON (load in
+///                      chrome://tracing or ui.perfetto.dev) of a
+///                      representative execution — see each harness for
+///                      what it traces
+///   --metrics-out PATH write everything the harness measured as a
+///                      named-metric JSON registry (obs::MetricsRegistry);
+///                      a .csv extension selects CSV instead
 struct HarnessArgs {
   int jobs = 1;
   bool progress = false;
   std::string json;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 inline HarnessArgs parse_harness_args(int argc, char** argv) {
@@ -63,9 +73,26 @@ inline HarnessArgs parse_harness_args(int argc, char** argv) {
       out.progress = true;
     } else if (a == "--json" && i + 1 < argc) {
       out.json = argv[++i];
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      out.trace_out = argv[++i];
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      out.metrics_out = argv[++i];
     }
   }
   return out;
+}
+
+/// --metrics-out convention: the extension picks the format.
+inline bool metrics_path_is_csv(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+inline bool write_metrics(const obs::MetricsRegistry& reg,
+                          const std::string& path) {
+  const bool ok = metrics_path_is_csv(path) ? reg.write_csv_file(path)
+                                            : reg.write_json_file(path);
+  if (ok) std::printf("\n(metrics written to %s)\n", path.c_str());
+  return ok;
 }
 
 }  // namespace whisper::bench

@@ -11,11 +11,15 @@
 #include "core/analyzer.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
+#include "obs/topdown.h"
 #include "os/machine.h"
 
 using namespace whisper;
 
 int main(int argc, char** argv) {
+  const bench::HarnessArgs args = bench::parse_harness_args(argc, argv);
   bench::heading(
       "Figure 1 — Gadget of TET and result (Intel Core i7-7700 model)");
 
@@ -36,6 +40,21 @@ int main(int argc, char** argv) {
 
   auto regs = bench::regs_with({{isa::Reg::RCX, core::kNullProbeAddress},
                                 {isa::Reg::RDX, os::Machine::kSharedBase}});
+
+  // --trace-out: record one *triggered* gadget execution (test_value ==
+  // secret) before the sweep — the Fig. 1 event stream the golden-trace
+  // test pins down, exported as a Chrome/Perfetto trace.
+  if (!args.trace_out.empty()) {
+    obs::EventLog log;
+    regs[static_cast<std::size_t>(isa::Reg::RBX)] = kSecret;
+    m.core().set_trace(&log);
+    (void)core::run_tote(m, g, regs);
+    m.core().set_trace(nullptr);
+    if (obs::write_chrome_trace(log, args.trace_out))
+      std::printf("\n(pipeline trace of one triggered probe written to %s)\n",
+                  args.trace_out.c_str());
+  }
+  const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
   for (int batch = 0; batch < kBatches; ++batch) {
     for (int tv = 0; tv <= 255; ++tv) {
       regs[static_cast<std::size_t>(isa::Reg::RBX)] =
@@ -76,9 +95,21 @@ int main(int argc, char** argv) {
                 tv == kSecret ? "   <-- secret" : "");
   }
 
-  // Optional: dump plot data (gnuplot/pandas friendly) to a directory.
-  if (argc > 1) {
-    const std::string dir = argv[1];
+  // Optional: dump plot data (gnuplot/pandas friendly) to a directory —
+  // the first positional (non --flag) argument.
+  std::string plot_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" || a == "--json" || a == "--trace-out" ||
+        a == "--metrics-out") {
+      ++i;  // skip the flag's value
+    } else if (a.rfind("--", 0) != 0) {
+      plot_dir = a;
+      break;
+    }
+  }
+  if (!plot_dir.empty()) {
+    const std::string& dir = plot_dir;
     if (FILE* f = std::fopen((dir + "/fig1_tote_hist.dat").c_str(), "w")) {
       std::fprintf(f, "# tote_cycles count_trigger count_other\n");
       for (const auto& [v, c] : other_hist.buckets())
@@ -102,5 +133,25 @@ int main(int argc, char** argv) {
   std::printf("\ndecoded secret: %d ('%c')  —  %s\n", decoded,
               static_cast<char>(decoded),
               decoded == kSecret ? "matches Fig. 1 ('S')" : "MISMATCH");
+
+  if (!args.metrics_out.empty()) {
+    const uarch::PmuSnapshot delta =
+        uarch::pmu_delta(pmu_before, m.core().pmu().snapshot());
+    const obs::TopDown td = obs::attribute_cycles(delta);
+    obs::MetricsRegistry reg;
+    reg.import_pmu(delta);
+    reg.set_counter("topdown.total_cycles", td.total_cycles);
+    reg.set_counter("topdown.retiring", td.retiring);
+    reg.set_counter("topdown.bad_speculation", td.bad_speculation);
+    reg.set_counter("topdown.frontend_bound", td.frontend_bound);
+    reg.set_counter("topdown.backend_bound", td.backend_bound);
+    reg.set_counter("fig1.decoded", static_cast<std::uint64_t>(decoded));
+    reg.set_gauge("fig1.tote_delta",
+                  trigger_hist.mean() - other_hist.mean());
+    reg.add_histogram("fig1.tote_triggered", trigger_hist);
+    reg.add_histogram("fig1.tote_not_triggered", other_hist);
+    bench::write_metrics(reg, args.metrics_out);
+    std::printf("probe sweep top-down: %s\n", td.to_string().c_str());
+  }
   return decoded == kSecret ? 0 : 1;
 }

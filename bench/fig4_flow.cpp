@@ -15,6 +15,9 @@
 
 #include "bench/bench_util.h"
 #include "core/pmu_toolset.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
+#include "obs/topdown.h"
 #include "os/machine.h"
 #include "runner/executor.h"
 
@@ -79,5 +82,33 @@ int main(int argc, char** argv) {
               first_delta, last_delta);
   const bool flip = first_delta > 0 && last_delta < 0;
   std::printf("sign flip reproduced: %s\n", flip ? "yes" : "NO");
+
+  // --trace-out: the pipeline lifecycle of one unpadded TRIGGER-path
+  // execution — the resteer, the transient window and the terminal machine
+  // clear are all visible as spans/markers in the exported trace.
+  if (!args.trace_out.empty()) {
+    os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
+    obs::EventLog log;
+    m.core().set_trace(&log);
+    core::scenario_flow(true, 0)(m);
+    m.core().set_trace(nullptr);
+    if (obs::write_chrome_trace(log, args.trace_out))
+      std::printf("\n(pipeline trace of the trigger path written to %s)\n",
+                  args.trace_out.c_str());
+  }
+
+  if (!args.metrics_out.empty()) {
+    obs::MetricsRegistry reg;
+    reg.set_counter("fig4.sign_flip", flip ? 1 : 0);
+    for (std::size_t i = 0; i < n_pads; ++i) {
+      const std::string p = "fig4.pad" + std::to_string(pads[i]) + ".";
+      reg.set_gauge(p + "uops_not_trigger", rows[i].uops_base);
+      reg.set_gauge(p + "uops_trigger", rows[i].uops_var);
+      reg.set_gauge(p + "uops_delta", rows[i].delta());
+      reg.set_gauge(p + "recovery_not_trigger", rows[i].recov_base);
+      reg.set_gauge(p + "recovery_trigger", rows[i].recov_var);
+    }
+    bench::write_metrics(reg, args.metrics_out);
+  }
   return flip ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "obs/chrome_trace.h"
 #include "runner/json_writer.h"
 #include "runner/runner.h"
 #include "stats/error_rate.h"
@@ -99,6 +100,35 @@ int main(int argc, char** argv) {
   if (!args.json.empty()) {
     // Persist the heaviest trajectory (the TET-CC 1k-byte run).
     runner::write_json_file(results[0], args.json);
+  }
+
+  if (!args.metrics_out.empty()) {
+    // One registry over all four experiments, attack-prefixed so nothing
+    // collides: cc.pmu.*, md.topdown.*, kaslr.run.successes, ...
+    obs::MetricsRegistry reg = runner::to_metrics(results[0], "cc.");
+    reg.merge(runner::to_metrics(results[1], "md."));
+    reg.merge(runner::to_metrics(results[2], "rsb."));
+    reg.merge(runner::to_metrics(results[3], "kaslr."));
+    bench::write_metrics(reg, args.metrics_out);
+    std::printf("TET-CC top-down: %s\n",
+                results[0].topdown.to_string().c_str());
+  }
+
+  if (!args.trace_out.empty()) {
+    // Full event capture of the 1k-byte runs above would be GBs of JSON, so
+    // trace a representative single-byte TET-MD trial instead: one
+    // signal-suppressed leak, windows and machine clears included.
+    runner::RunSpec probe = md;
+    probe.trials = 1;
+    probe.payload_bytes = 1;
+    probe.batches = 1;
+    probe.collect_trace = true;
+    const runner::TrialResult t =
+        runner::run_trial(probe, runner::trial_seed(probe.base_seed, 0));
+    if (obs::write_chrome_trace(t.events, args.trace_out))
+      std::printf("\n(pipeline trace of a 1-byte TET-MD trial written to "
+                  "%s: %zu events)\n",
+                  args.trace_out.c_str(), t.events.size());
   }
   return 0;
 }

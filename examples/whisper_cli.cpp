@@ -1,9 +1,12 @@
 // whisper_cli — interactive playground for the library.
 //
 //   whisper_cli tote   [--cpu N] [--trigger|--no-trigger] [--trace]
+//                      [--trace-out PATH] [--metrics-out PATH]
 //   whisper_cli leak   [--cpu N] [--secret STRING] [--attack md|rsb|v1|zbl]
+//                      [--trace-out PATH] [--metrics-out PATH]
 //   whisper_cli kaslr  [--cpu N] [--kpti] [--flare] [--seed S]
 //                      [--trials T] [--jobs J] [--json PATH]
+//                      [--trace-out PATH] [--metrics-out PATH]
 //   whisper_cli matrix [--jobs J]
 //   whisper_cli models
 //
@@ -13,6 +16,12 @@
 // `kaslr --trials T --jobs J` and `matrix --jobs J` go through
 // whisper::runner: independent simulated machines fan out across J worker
 // threads with results bit-identical to --jobs 1 (docs/REPRODUCING.md).
+//
+// --trace-out writes a Chrome trace-event JSON of the command's pipeline
+// activity (open it in chrome://tracing or ui.perfetto.dev); --metrics-out
+// writes every counter the run touched as an obs::MetricsRegistry export
+// (JSON, or CSV when the path ends in .csv). docs/REPRODUCING.md
+// ("Inspecting a run") walks through both.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -25,6 +34,10 @@
 #include "core/attacks/spectre_v1.h"
 #include "core/attacks/zombieload.h"
 #include "core/gadgets.h"
+#include "obs/chrome_trace.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/topdown.h"
 #include "os/machine.h"
 #include "runner/json_writer.h"
 #include "runner/runner.h"
@@ -52,6 +65,31 @@ uarch::CpuModel cpu_from(const Args& args) {
   const int n = std::stoi(args.value("--cpu", "1"));
   const auto models = uarch::all_models();
   return models[static_cast<std::size_t>(n) % models.size()];
+}
+
+bool write_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  const bool ok = csv ? reg.write_csv_file(path) : reg.write_json_file(path);
+  if (ok) std::printf("metrics written to %s\n", path.c_str());
+  return ok;
+}
+
+/// PMU delta + top-down attribution over [before, now) as a registry.
+obs::MetricsRegistry machine_metrics(os::Machine& m,
+                                     const uarch::PmuSnapshot& before) {
+  const uarch::PmuSnapshot delta =
+      uarch::pmu_delta(before, m.core().pmu().snapshot());
+  const obs::TopDown td = obs::attribute_cycles(delta);
+  obs::MetricsRegistry reg;
+  reg.import_pmu(delta);
+  reg.set_counter("topdown.total_cycles", td.total_cycles);
+  reg.set_counter("topdown.retiring", td.retiring);
+  reg.set_counter("topdown.bad_speculation", td.bad_speculation);
+  reg.set_counter("topdown.frontend_bound", td.frontend_bound);
+  reg.set_counter("topdown.backend_bound", td.backend_bound);
+  std::printf("top-down: %s\n", td.to_string().c_str());
+  return reg;
 }
 
 int cmd_models() {
@@ -82,17 +120,28 @@ int cmd_tote(const Args& args) {
   const bool trigger = !args.has("--no-trigger");
   regs[static_cast<std::size_t>(isa::Reg::RBX)] = trigger ? 'S' : 'T';
 
-  uarch::PipelineTrace trace;
+  const std::string trace_out = args.value("--trace-out", "");
+  const std::string metrics_out = args.value("--metrics-out", "");
+  uarch::PipelineTrace trace;   // bounded ring for the textual dump
+  obs::EventLog log;            // full capture for the Chrome export
   if (args.has("--trace")) m.core().set_trace(&trace);
+  if (!trace_out.empty()) m.core().set_trace(&log);
+  const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
   for (int i = 0; i < 8; ++i)
     std::printf("probe %d (%s): ToTE = %llu cycles\n", i,
                 trigger ? "trigger" : "no trigger",
                 static_cast<unsigned long long>(core::run_tote(m, g, regs)));
-  if (args.has("--trace")) {
-    m.core().set_trace(nullptr);
+  m.core().set_trace(nullptr);
+  if (args.has("--trace") && trace_out.empty()) {
     std::printf("\npipeline trace (last probe window):\n%s",
                 trace.to_string().c_str());
   }
+  if (!trace_out.empty() && obs::write_chrome_trace(log, trace_out))
+    std::printf("pipeline trace of all 8 probes written to %s "
+                "(%zu events)\n",
+                trace_out.c_str(), log.size());
+  if (!metrics_out.empty())
+    write_metrics(machine_metrics(m, pmu_before), metrics_out);
   return 0;
 }
 
@@ -102,6 +151,12 @@ int cmd_leak(const Args& args) {
   const std::string secret_str = args.value("--secret", "hunter2");
   const std::vector<std::uint8_t> secret(secret_str.begin(),
                                          secret_str.end());
+
+  const std::string trace_out = args.value("--trace-out", "");
+  const std::string metrics_out = args.value("--metrics-out", "");
+  obs::EventLog log;
+  if (!trace_out.empty()) m.core().set_trace(&log);
+  const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
 
   std::vector<std::uint8_t> leaked;
   if (what == "md") {
@@ -126,17 +181,25 @@ int cmd_leak(const Args& args) {
     return 2;
   }
 
+  m.core().set_trace(nullptr);
   std::string printable;
   for (std::uint8_t b : leaked)
     printable += (b >= 32 && b < 127) ? static_cast<char>(b) : '.';
   std::printf("TET-%s on %s leaked: \"%s\"  (%s)\n", what.c_str(),
               m.config().name.c_str(), printable.c_str(),
               leaked == secret ? "exact" : "with errors");
+  if (!trace_out.empty() && obs::write_chrome_trace(log, trace_out))
+    std::printf("pipeline trace of the leak written to %s (%zu events)\n",
+                trace_out.c_str(), log.size());
+  if (!metrics_out.empty())
+    write_metrics(machine_metrics(m, pmu_before), metrics_out);
   return leaked == secret ? 0 : 1;
 }
 
 int cmd_kaslr(const Args& args) {
   const int trials = std::stoi(args.value("--trials", "1"));
+  const std::string trace_out = args.value("--trace-out", "");
+  const std::string metrics_out = args.value("--metrics-out", "");
   if (trials <= 1) {
     // Single shot: the interactive view, with found vs true base.
     os::MachineOptions opts;
@@ -145,8 +208,12 @@ int cmd_kaslr(const Args& args) {
     opts.kernel.flare = args.has("--flare");
     opts.seed = std::stoull(args.value("--seed", "0"));
     os::Machine m(opts);
+    obs::EventLog log;
+    if (!trace_out.empty()) m.core().set_trace(&log);
+    const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
     core::TetKaslr atk(m);
     const auto r = atk.run();
+    m.core().set_trace(nullptr);
     std::printf("TET-KASLR on %s%s%s: %s  found %#llx true %#llx  (%.4f s, "
                 "%zu probes)\n",
                 m.config().name.c_str(), opts.kernel.kpti ? " +KPTI" : "",
@@ -155,6 +222,12 @@ int cmd_kaslr(const Args& args) {
                 static_cast<unsigned long long>(r.found_base),
                 static_cast<unsigned long long>(r.true_base), r.seconds,
                 r.probes);
+    if (!trace_out.empty() && obs::write_chrome_trace(log, trace_out))
+      std::printf("pipeline trace of the slot sweep written to %s "
+                  "(%zu events)\n",
+                  trace_out.c_str(), log.size());
+    if (!metrics_out.empty())
+      write_metrics(machine_metrics(m, pmu_before), metrics_out);
     return r.success ? 0 : 1;
   }
 
@@ -167,6 +240,7 @@ int cmd_kaslr(const Args& args) {
   spec.kernel.kpti = args.has("--kpti");
   spec.kernel.flare = args.has("--flare");
   spec.base_seed = std::stoull(args.value("--seed", "1"));
+  spec.collect_trace = !trace_out.empty();
   const int jobs = std::stoi(args.value("--jobs", "1"));
   const auto r = runner::run(spec, jobs, /*progress=*/true);
   std::printf("TET-KASLR sweep: %s\n", spec.label().c_str());
@@ -179,6 +253,14 @@ int cmd_kaslr(const Args& args) {
   const std::string json = args.value("--json", "");
   if (!json.empty() && runner::write_json_file(r, json))
     std::printf("  trajectory written to %s\n", json.c_str());
+  if (!trace_out.empty() && obs::write_chrome_trace(r.events, trace_out))
+    std::printf("  pipeline trace of all trials (index order) written to "
+                "%s (%zu events)\n",
+                trace_out.c_str(), r.events.size());
+  if (!metrics_out.empty()) {
+    std::printf("  top-down: %s\n", r.topdown.to_string().c_str());
+    write_metrics(runner::to_metrics(r), metrics_out);
+  }
   return r.all_succeeded() ? 0 : 1;
 }
 

@@ -9,6 +9,9 @@
 #      fails this check.
 #   3. When a build directory is given and contains the bench binaries,
 #      each documented binary must have been built.
+#   4. Every runner flag the shared harness parser (bench/bench_util.h)
+#      accepts must be documented in the guide's flag table — adding a
+#      flag without documenting it fails this check.
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -48,6 +51,18 @@ for name in $harnesses; do
   fi
 done
 
+# Flags the shared harness parser accepts (string literals "--..." in
+# bench_util.h) must each appear in the guide.
+flags=$(grep -oE '"--[a-z-]+"' "$root/bench/bench_util.h" | tr -d '"' |
+        sort -u)
+for flag in $flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: bench/bench_util.h parses $flag but docs/REPRODUCING.md" \
+         "does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -59,6 +74,7 @@ fi
 
 if [[ $fail -eq 0 ]]; then
   echo "OK: $(echo "$documented" | wc -w) documented harnesses," \
-       "$(echo "$harnesses" | wc -w) bench sources, all in sync"
+       "$(echo "$harnesses" | wc -w) bench sources," \
+       "$(echo "$flags" | wc -w) harness flags, all in sync"
 fi
 exit $fail

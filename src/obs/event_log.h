@@ -1,0 +1,46 @@
+// Unbounded pipeline event sink.
+//
+// uarch::PipelineTrace is a fixed-capacity ring for in-test assertions; the
+// obs exporters need every event of a run, in emission order, so they can
+// reconstruct full instruction lifecycles. EventLog is that sink: attach it
+// with Core::set_trace(&log), run, then hand the log to
+// obs::to_chrome_trace() or replay it for golden-trace tests.
+//
+// Like every TraceSink, an EventLog is observability-only: recording never
+// feeds back into the simulation, so a run with a log attached retires the
+// same instructions at the same cycles as a run without one
+// (tests/test_obs.cpp pins this down byte for byte).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "uarch/trace.h"
+
+namespace whisper::obs {
+
+class EventLog final : public uarch::TraceSink {
+ public:
+  void record(const uarch::TraceRecord& r) override { records_.push_back(r); }
+
+  [[nodiscard]] const std::vector<uarch::TraceRecord>& records()
+      const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// Append another log's records after this one's. The runner merges
+  /// per-trial logs in trial-index order, so a --jobs N trace equals the
+  /// sequential one byte for byte.
+  void append(const EventLog& other) {
+    records_.insert(records_.end(), other.records_.begin(),
+                    other.records_.end());
+  }
+
+ private:
+  std::vector<uarch::TraceRecord> records_;
+};
+
+}  // namespace whisper::obs

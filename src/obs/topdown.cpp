@@ -1,0 +1,79 @@
+#include "obs/topdown.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace whisper::obs {
+
+namespace {
+
+std::uint64_t ev(const uarch::PmuSnapshot& d, uarch::PmuEvent e) {
+  return d[static_cast<std::size_t>(e)];
+}
+
+double frac(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(total);
+}
+
+}  // namespace
+
+TopDown& TopDown::merge(const TopDown& other) noexcept {
+  total_cycles += other.total_cycles;
+  retiring += other.retiring;
+  bad_speculation += other.bad_speculation;
+  frontend_bound += other.frontend_bound;
+  backend_bound += other.backend_bound;
+  return *this;
+}
+
+double TopDown::retiring_frac() const noexcept {
+  return frac(retiring, total_cycles);
+}
+double TopDown::bad_speculation_frac() const noexcept {
+  return frac(bad_speculation, total_cycles);
+}
+double TopDown::frontend_bound_frac() const noexcept {
+  return frac(frontend_bound, total_cycles);
+}
+double TopDown::backend_bound_frac() const noexcept {
+  return frac(backend_bound, total_cycles);
+}
+
+std::string TopDown::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "retiring %5.1f%% | bad-spec %5.1f%% | frontend %5.1f%% | "
+                "backend %5.1f%%",
+                100.0 * retiring_frac(), 100.0 * bad_speculation_frac(),
+                100.0 * frontend_bound_frac(),
+                100.0 * backend_bound_frac());
+  return buf;
+}
+
+TopDown attribute_cycles(const uarch::PmuSnapshot& delta) {
+  using uarch::PmuEvent;
+  TopDown td;
+  td.total_cycles = ev(delta, PmuEvent::CORE_CYCLES);
+
+  // Sequential clamp: speculation recovery first (it is what the paper's
+  // timer isolates), then fetch starvation, then back-end stalls; each
+  // bucket can only claim cycles no earlier bucket already took.
+  std::uint64_t remaining = td.total_cycles;
+  td.bad_speculation =
+      std::min(remaining, ev(delta, PmuEvent::INT_MISC_RECOVERY_CYCLES_ANY) +
+                              ev(delta, PmuEvent::INT_MISC_CLEAR_RESTEER_CYCLES));
+  remaining -= td.bad_speculation;
+  td.frontend_bound =
+      std::min(remaining, ev(delta, PmuEvent::ICACHE_16B_IFDATA_STALL) +
+                              ev(delta, PmuEvent::RS_EVENTS_EMPTY_CYCLES));
+  remaining -= td.frontend_bound;
+  td.backend_bound =
+      std::min(remaining, ev(delta, PmuEvent::CYCLE_ACTIVITY_STALLS_TOTAL) +
+                              ev(delta, PmuEvent::RESOURCE_STALLS_ANY));
+  remaining -= td.backend_bound;
+  td.retiring = remaining;
+  return td;
+}
+
+}  // namespace whisper::obs

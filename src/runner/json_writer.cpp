@@ -1,101 +1,8 @@
 #include "runner/json_writer.h"
 
-#include <cinttypes>
 #include <cstdio>
 
 namespace whisper::runner {
-
-void JsonWriter::comma() {
-  if (need_comma_) out_ += ',';
-  need_comma_ = false;
-}
-
-void JsonWriter::escaped(const std::string& s) {
-  out_ += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out_ += "\\\""; break;
-      case '\\': out_ += "\\\\"; break;
-      case '\n': out_ += "\\n"; break;
-      case '\t': out_ += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out_ += buf;
-        } else {
-          out_ += c;
-        }
-    }
-  }
-  out_ += '"';
-}
-
-void JsonWriter::begin_object() {
-  comma();
-  out_ += '{';
-}
-
-void JsonWriter::end_object() {
-  out_ += '}';
-  need_comma_ = true;
-}
-
-void JsonWriter::begin_array() {
-  comma();
-  out_ += '[';
-}
-
-void JsonWriter::end_array() {
-  out_ += ']';
-  need_comma_ = true;
-}
-
-void JsonWriter::key(const std::string& k) {
-  comma();
-  escaped(k);
-  out_ += ':';
-}
-
-void JsonWriter::value(const std::string& v) {
-  comma();
-  escaped(v);
-  need_comma_ = true;
-}
-
-void JsonWriter::value(const char* v) { value(std::string(v)); }
-
-void JsonWriter::value(double v) {
-  comma();
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  out_ += buf;
-  need_comma_ = true;
-}
-
-void JsonWriter::value(std::uint64_t v) {
-  comma();
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
-  out_ += buf;
-  need_comma_ = true;
-}
-
-void JsonWriter::value(std::int64_t v) {
-  comma();
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%" PRId64, v);
-  out_ += buf;
-  need_comma_ = true;
-}
-
-void JsonWriter::value(int v) { value(static_cast<std::int64_t>(v)); }
-
-void JsonWriter::value(bool v) {
-  comma();
-  out_ += v ? "true" : "false";
-  need_comma_ = true;
-}
 
 namespace {
 
@@ -129,6 +36,21 @@ void write_summary(JsonWriter& w, const stats::Summary& s) {
   w.value(s.max);
   w.key("median");
   w.value(s.median);
+  w.end_object();
+}
+
+void write_topdown(JsonWriter& w, const obs::TopDown& td) {
+  w.begin_object();
+  w.key("total_cycles");
+  w.value(td.total_cycles);
+  w.key("retiring");
+  w.value(td.retiring);
+  w.key("bad_speculation");
+  w.value(td.bad_speculation);
+  w.key("frontend_bound");
+  w.value(td.frontend_bound);
+  w.key("backend_bound");
+  w.value(td.backend_bound);
   w.end_object();
 }
 
@@ -182,6 +104,8 @@ std::string to_json(const RunResult& r) {
   write_summary(w, r.seconds);
   w.key("tote");
   write_histogram(w, r.tote);
+  w.key("topdown");
+  write_topdown(w, r.topdown);
 
   w.key("trials_detail");
   w.begin_array();
@@ -205,6 +129,8 @@ std::string to_json(const RunResult& r) {
     w.value(t.found_slot);
     w.key("tote");
     write_histogram(w, t.tote);
+    w.key("topdown");
+    write_topdown(w, t.topdown);
     w.end_object();
   }
   w.end_array();

@@ -1,47 +1,23 @@
 // JSON serialisation of runner results — the bench/*.json trajectory format.
 //
-// Hand-rolled writer (no third-party JSON dependency in the image): enough
-// of the grammar for flat objects, arrays, strings, numbers and booleans.
-// The output is deterministic (fixed key order, fixed float formatting), so
-// a trajectory file is diffable across runs and across --jobs values.
+// The generic writer lives in stats/json.h (shared with the obs exporters);
+// this header keeps the runner-specific serialisation of RunResult. The
+// output is deterministic (fixed key order, fixed float formatting), so a
+// trajectory file is diffable across runs and across --jobs values.
 #pragma once
 
-#include <cstdint>
 #include <string>
 
 #include "runner/runner.h"
+#include "stats/json.h"
 
 namespace whisper::runner {
 
-/// Incremental JSON writer. Keys and values must be emitted in pairs inside
-/// objects; the writer inserts commas and quoting.
-class JsonWriter {
- public:
-  void begin_object();
-  void end_object();
-  void begin_array();
-  void end_array();
-  void key(const std::string& k);
-  void value(const std::string& v);
-  void value(const char* v);
-  void value(double v);
-  void value(std::uint64_t v);
-  void value(std::int64_t v);
-  void value(int v);
-  void value(bool v);
+using JsonWriter = stats::JsonWriter;
 
-  [[nodiscard]] const std::string& str() const noexcept { return out_; }
-
- private:
-  void comma();
-  void escaped(const std::string& s);
-
-  std::string out_;
-  bool need_comma_ = false;
-};
-
-/// Serialise a finished run: spec, merged stats, and the ordered per-trial
-/// records (including each trial's ToTE histogram buckets).
+/// Serialise a finished run: spec, merged stats, PMU-derived top-down cycle
+/// attribution, and the ordered per-trial records (including each trial's
+/// ToTE histogram buckets).
 [[nodiscard]] std::string to_json(const RunResult& r);
 
 /// Write to_json(r) to `path`; returns false (and prints to stderr) on I/O

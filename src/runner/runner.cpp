@@ -87,6 +87,12 @@ TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
   mo.seed = seed;
   os::Machine m(mo);
 
+  // Observability: PMU deltas (and optionally the full event log) over the
+  // attack phase. Attaching the log must not perturb the run —
+  // tests/test_obs.cpp checks the results stay byte-identical.
+  if (spec.collect_trace) m.core().set_trace(&t.events);
+  const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
+
   switch (spec.attack) {
     case Attack::Cc: {
       core::TetCovertChannel::Options opt;
@@ -179,6 +185,9 @@ TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
       break;
     }
   }
+  t.pmu = uarch::pmu_delta(pmu_before, m.core().pmu().snapshot());
+  t.topdown = obs::attribute_cycles(t.pmu);
+  if (spec.collect_trace) m.core().set_trace(nullptr);
   return t;
 }
 
@@ -210,6 +219,10 @@ RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
     out.total_byte_errors += t.byte_errors;
     out.cycles.add(static_cast<double>(t.cycles));
     out.tote.merge(t.tote);
+    for (std::size_t e = 0; e < uarch::kNumPmuEvents; ++e)
+      out.pmu[e] += t.pmu[e];
+    out.topdown.merge(t.topdown);
+    out.events.append(t.events);
     secs.push_back(t.seconds);
   }
   out.seconds = stats::summarize(std::span<const double>(secs));
@@ -217,6 +230,27 @@ RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
 }
 
 }  // namespace
+
+obs::MetricsRegistry to_metrics(const RunResult& r,
+                                const std::string& prefix) {
+  obs::MetricsRegistry reg;
+  reg.set_counter(prefix + "run.trials", r.trials.size());
+  reg.set_counter(prefix + "run.successes", r.successes);
+  reg.set_counter(prefix + "run.probes", r.total_probes);
+  reg.set_counter(prefix + "run.bytes", r.total_bytes);
+  reg.set_counter(prefix + "run.byte_errors", r.total_byte_errors);
+  reg.import_pmu(r.pmu, prefix + "pmu.");
+  reg.set_counter(prefix + "topdown.total_cycles", r.topdown.total_cycles);
+  reg.set_counter(prefix + "topdown.retiring", r.topdown.retiring);
+  reg.set_counter(prefix + "topdown.bad_speculation",
+                  r.topdown.bad_speculation);
+  reg.set_counter(prefix + "topdown.frontend_bound",
+                  r.topdown.frontend_bound);
+  reg.set_counter(prefix + "topdown.backend_bound", r.topdown.backend_bound);
+  reg.import_summary(prefix + "sim_seconds", r.seconds);
+  reg.add_histogram(prefix + "tote", r.tote);
+  return reg;
+}
 
 RunResult run(const RunSpec& spec, Executor& ex, bool progress) {
   const std::size_t n =

@@ -25,11 +25,15 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/topdown.h"
 #include "os/kernel_layout.h"
 #include "runner/executor.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
 #include "uarch/config.h"
+#include "uarch/pmu.h"
 
 namespace whisper::runner {
 
@@ -57,6 +61,12 @@ struct RunSpec {
   std::size_t payload_bytes = 8;     // bytes moved per channel trial
   std::uint64_t payload_seed = 0x5eedULL;  // RNG stream for the payload
 
+  /// Attach an obs::EventLog to each trial's core and keep the records in
+  /// the TrialResult (and, merged in index order, in RunResult::events).
+  /// Off by default: full event capture is memory-heavy, and with it off
+  /// the core's trace hooks stay a branch on a null pointer.
+  bool collect_trace = false;
+
   /// Human-readable "attack @ model ×trials" label for progress lines.
   [[nodiscard]] std::string label() const;
 };
@@ -75,6 +85,14 @@ struct TrialResult {
   std::size_t byte_errors = 0;
   int found_slot = -1;
   stats::Histogram tote;
+
+  /// PMU event deltas over the attack phase of the trial (machine setup
+  /// excluded), and the top-down attribution computed from them —
+  /// topdown's buckets sum to topdown.total_cycles exactly.
+  uarch::PmuSnapshot pmu{};
+  obs::TopDown topdown;
+  /// Pipeline events of the trial; empty unless spec.collect_trace.
+  obs::EventLog events;
 };
 
 /// A finished RunSpec: the ordered per-trial results plus the merged view.
@@ -92,11 +110,24 @@ struct RunResult {
   stats::Summary seconds;     // over per-trial simulated seconds
   stats::OnlineStats cycles;  // over per-trial simulated cycles
   stats::Histogram tote;      // all trials' ToTE observations merged
+  uarch::PmuSnapshot pmu{};   // per-trial PMU deltas, summed
+  obs::TopDown topdown;       // per-trial attributions, bucket-summed
+  obs::EventLog events;       // per-trial logs, appended in index order
 
   [[nodiscard]] bool all_succeeded() const noexcept {
     return successes == trials.size();
   }
 };
+
+/// Everything a finished run measured, as one named-metric registry:
+/// "run.*" counters (trials, successes, probes, bytes, byte_errors),
+/// "pmu.*" counters (merged event deltas), "topdown.*" cycle buckets,
+/// "sim_seconds.*" gauges and the merged "tote" histogram. Feed this to
+/// MetricsRegistry::write_json_file()/write_csv_file() for --metrics-out.
+/// `prefix` namespaces every name ("cc." etc.), so several runs can merge
+/// into one registry without colliding.
+[[nodiscard]] obs::MetricsRegistry to_metrics(const RunResult& r,
+                                              const std::string& prefix = "");
 
 /// Per-trial seed derivation: base ⊕ trial index, whitened through
 /// SplitMix64 so adjacent trials get decorrelated jitter streams, and kept

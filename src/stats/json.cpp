@@ -1,0 +1,244 @@
+#include "stats/json.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace whisper::stats {
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+void JsonWriter::escaped(const std::string& s) {
+  out_ += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+}
+
+void JsonWriter::key(const std::string& k) {
+  comma();
+  escaped(k);
+  out_ += ':';
+}
+
+void JsonWriter::value(const std::string& v) {
+  comma();
+  escaped(v);
+  need_comma_ = true;
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  comma();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, v);
+  out_ += buf;
+  need_comma_ = true;
+}
+
+void JsonWriter::value(int v) { value(static_cast<std::int64_t>(v)); }
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Syntax validator: recursive-descent over the RFC 8259 grammar.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : s_(text) {}
+
+  bool run() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= s_.size(); }
+  [[nodiscard]] char peek() const { return s_[pos_]; }
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++pos_;
+  }
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (eof() || depth_ > 256) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++depth_;
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) { --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) { --depth_; return true; }
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array() {
+    ++depth_;
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) { --depth_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) { --depth_; return true; }
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!eof()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // bare control
+      if (c == '\\') {
+        if (eof()) return false;
+        const char esc = s_[pos_++];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i)
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s_[pos_++])))
+              return false;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    consume('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return false;
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return false;
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view text) {
+  return JsonChecker(text).run();
+}
+
+}  // namespace whisper::stats

@@ -1,0 +1,48 @@
+// Minimal JSON toolkit shared by the exporters (runner trajectories,
+// obs metrics, obs Chrome traces).
+//
+// Hand-rolled (no third-party JSON dependency in the image): enough of the
+// grammar for flat objects, arrays, strings, numbers and booleans. The
+// output is deterministic (fixed key order, fixed float formatting), so an
+// exported file is diffable across runs and across --jobs values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace whisper::stats {
+
+/// Incremental JSON writer. Keys and values must be emitted in pairs inside
+/// objects; the writer inserts commas and quoting.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v);
+  void value(bool v);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void escaped(const std::string& s);
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Strict syntax check of a complete JSON document (RFC 8259 grammar, no
+/// semantic validation). Used by tests to assert every exporter emits
+/// well-formed output without pulling in a parser dependency.
+[[nodiscard]] bool json_is_valid(std::string_view text);
+
+}  // namespace whisper::stats

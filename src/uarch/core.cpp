@@ -203,6 +203,19 @@ void Core::trace(int thread, TraceEvent event, const RobEntry* e,
   trace_->record(r);
 }
 
+void Core::trace_raw(int thread, TraceEvent event, std::int32_t pc,
+                     isa::Opcode op, std::uint64_t seq) {
+  if (!trace_) return;
+  TraceRecord r;
+  r.cycle = cycle_;
+  r.thread = thread;
+  r.event = event;
+  r.seq = seq;
+  r.pc = pc;
+  r.op = op;
+  trace_->record(r);
+}
+
 // ---------------------------------------------------------------------------
 // Front end
 // ---------------------------------------------------------------------------
@@ -327,6 +340,7 @@ void Core::step_fetch(int t) {
     }
 
     budget -= uops;
+    trace_raw(t, TraceEvent::Fetch, fe.pc, fe.inst.op, 0);
     ctx.idq.push_back(std::move(fe));
     if (taken || ctx.fetch_halted) break;  // one taken branch per cycle
   }
@@ -789,6 +803,14 @@ void Core::execute_entry(ThreadCtx& ctx, RobEntry& e) {
 
   e.complete_at = cycle_ + static_cast<std::uint64_t>(latency);
   if (e.forward_at == 0) e.forward_at = e.complete_at;
+
+  // A deferred fault opens a transient window: younger instructions now
+  // execute on borrowed time until the fault retires (machine clear) or the
+  // opener itself is squashed from a wrong path.
+  if (e.fault != mem::Fault::None && ctx.window_open_seq == 0) {
+    ctx.window_open_seq = e.seq;
+    trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::WindowOpen, &e);
+  }
 }
 
 void Core::resolve_branch(ThreadCtx& ctx, RobEntry& e, bool actual_taken,
@@ -1027,6 +1049,12 @@ void Core::machine_clear(int t, RobEntry& faulting) {
   }
   ctx.window_mispredict = false;
 
+  // The clear drains the window the deferred fault opened.
+  if (ctx.window_open_seq != 0) {
+    trace(t, TraceEvent::WindowClose, &faulting);
+    ctx.window_open_seq = 0;
+  }
+
   const mem::Fault fault_kind = faulting.fault;
   squash_all(ctx);
   ctx.idq.clear();
@@ -1081,23 +1109,34 @@ void Core::undo_store(const RobEntry& e) {
 }
 
 void Core::squash_younger(ThreadCtx& ctx, std::uint64_t seq) {
+  const int t = &ctx == &ctx_[0] ? 0 : 1;
   std::uint64_t dropped = 0;
   while (!ctx.rob.empty() && ctx.rob.back().seq > seq) {
+    trace(t, TraceEvent::Squash, &ctx.rob.back());
     undo_store(ctx.rob.back());
     ctx.rob.pop_back();
     ++dropped;
   }
   ctx.idq.clear();
+  if (ctx.window_open_seq > seq) {
+    // The window opener itself was on the wrong path: the window ends
+    // without a machine clear.
+    trace_raw(t, TraceEvent::WindowClose, -1, isa::Opcode::Nop,
+              ctx.window_open_seq);
+    ctx.window_open_seq = 0;
+  }
   if (dropped)
-    trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::SquashYounger, nullptr,
-          dropped);
+    trace(t, TraceEvent::SquashYounger, nullptr, dropped);
 }
 
 void Core::squash_all(ThreadCtx& ctx) {
+  const int t = &ctx == &ctx_[0] ? 0 : 1;
   while (!ctx.rob.empty()) {
+    trace(t, TraceEvent::Squash, &ctx.rob.back());
     undo_store(ctx.rob.back());
     ctx.rob.pop_back();
   }
+  ctx.window_open_seq = 0;
 }
 
 void Core::redirect_fetch(ThreadCtx& ctx, std::int32_t target) {

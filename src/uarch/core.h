@@ -99,8 +99,11 @@ class Core {
   /// Forget predictor state (models a context switch / fresh victim).
   void reset_bpu() { bpu_.reset(); }
 
-  /// Attach (or detach with nullptr) a pipeline trace sink.
-  void set_trace(PipelineTrace* trace) noexcept { trace_ = trace; }
+  /// Attach (or detach with nullptr) a pipeline trace sink. Any TraceSink
+  /// works: the bounded uarch::PipelineTrace ring for tests, or the
+  /// unbounded obs::EventLog feeding the Chrome-trace exporter. With no
+  /// sink attached every hook is a branch on a null pointer.
+  void set_trace(TraceSink* trace) noexcept { trace_ = trace; }
 
   /// Advance the free-running cycle counter without executing anything —
   /// used by the OS layer to charge attacker-side overheads (TLB eviction
@@ -184,6 +187,10 @@ class Core {
 
     // Transient-window bookkeeping.
     bool window_mispredict = false;
+    /// seq of the deferred-fault instruction that opened the current
+    /// transient window (0 = none). Only the trace hooks read this; it
+    /// never influences timing or architectural state.
+    std::uint64_t window_open_seq = 0;
 
     // TSX (set/cleared at retirement).
     bool in_tsx = false;
@@ -231,13 +238,15 @@ class Core {
 
   void trace(int thread, TraceEvent event, const RobEntry* e = nullptr,
              std::uint64_t count = 0);
+  void trace_raw(int thread, TraceEvent event, std::int32_t pc,
+                 isa::Opcode op, std::uint64_t seq);
 
   CpuConfig cfg_;
   mem::MemorySystem& mem_;
   Pmu pmu_;
   BranchPredictor bpu_;
   stats::Xoshiro256 rng_;
-  PipelineTrace* trace_ = nullptr;
+  TraceSink* trace_ = nullptr;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t avx_warm_until_ = 0;  // AVX power-gating state

@@ -6,16 +6,20 @@ namespace whisper::uarch {
 
 std::string to_string(TraceEvent e) {
   switch (e) {
+    case TraceEvent::Fetch: return "fetch";
     case TraceEvent::Alloc: return "alloc";
     case TraceEvent::Issue: return "issue";
     case TraceEvent::Complete: return "complete";
     case TraceEvent::Retire: return "retire";
+    case TraceEvent::Squash: return "squash-entry";
     case TraceEvent::Mispredict: return "mispredict";
     case TraceEvent::Resteer: return "resteer";
     case TraceEvent::SquashYounger: return "squash";
     case TraceEvent::MachineClear: return "machine-clear";
     case TraceEvent::SignalRedirect: return "signal-redirect";
     case TraceEvent::TsxAbort: return "tsx-abort";
+    case TraceEvent::WindowOpen: return "window-open";
+    case TraceEvent::WindowClose: return "window-close";
   }
   return "?";
 }

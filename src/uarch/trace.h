@@ -1,9 +1,12 @@
-// Pipeline trace: a bounded record of microarchitectural events for
-// debugging gadgets and for asserting pipeline behaviour in tests
-// ("was this instruction fetched but never retired?").
+// Pipeline trace: structured per-instruction lifecycle events for
+// debugging gadgets, for asserting pipeline behaviour in tests ("was this
+// instruction fetched but never retired?") and for the obs layer's
+// Chrome-trace exporter and top-down attribution (src/obs).
 //
-// Attach with Core::set_trace(); recording costs one branch per event when
-// detached.
+// The core emits TraceRecords through the abstract TraceSink; attach one
+// with Core::set_trace(). When detached, every hook compiles down to a
+// branch on a null pointer, so an untraced run pays nothing beyond that
+// test.
 #pragma once
 
 #include <cstdint>
@@ -15,16 +18,20 @@
 namespace whisper::uarch {
 
 enum class TraceEvent : std::uint8_t {
+  Fetch,         // entered the IDQ (front-end delivery)
   Alloc,         // entered the ROB
   Issue,         // dispatched to an execution port
   Complete,      // result ready
   Retire,        // architecturally committed
+  Squash,        // dropped from the ROB on a wrong path (one per entry)
   Mispredict,    // branch resolved against its prediction
   Resteer,       // front end redirected
   SquashYounger, // wrong-path entries dropped (count in `seq`)
   MachineClear,  // fault reached retirement
   SignalRedirect,// suppressed via signal handler
   TsxAbort,      // suppressed via transaction abort
+  WindowOpen,    // a deferred-fault transient window opened (faulting exec)
+  WindowClose,   // that window ended (machine clear or opener squashed)
 };
 
 [[nodiscard]] std::string to_string(TraceEvent e);
@@ -40,12 +47,22 @@ struct TraceRecord {
   [[nodiscard]] std::string to_string() const;
 };
 
-class PipelineTrace {
+/// Receiver of pipeline events. Implementations must not mutate any
+/// simulated state — tracing is observability-only, and
+/// tests/test_obs.cpp asserts that attaching a sink leaves architectural
+/// state, PMU counters and retire cycles byte-identical.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const TraceRecord& r) = 0;
+};
+
+class PipelineTrace final : public TraceSink {
  public:
   explicit PipelineTrace(std::size_t capacity = 4096)
       : capacity_(capacity) {}
 
-  void record(TraceRecord r) {
+  void record(const TraceRecord& r) override {
     if (records_.size() >= capacity_) {
       records_[next_ % capacity_] = r;  // ring overwrite
       ++next_;

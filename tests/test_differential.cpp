@@ -26,9 +26,12 @@ class ProgramGenerator {
  public:
   explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
 
-  /// Generate a terminating program: straight-line blocks with forward-only
-  /// control flow, memory traffic confined to the data window, and a few
-  /// call/ret pairs.
+  /// Generate a terminating program: straight-line blocks with forward
+  /// branches, bounded counted backward loops (R15 is the loop counter),
+  /// TSX begin/end pairs, cache-line flushes, and memory traffic confined
+  /// to the data window. Control-flow units are emitted atomically, so
+  /// forward branches always land on unit boundaries — never inside a loop
+  /// body or a TSX region — and every program halts.
   isa::Program generate(int length) {
     ProgramBuilder b;
     int label_id = 0;
@@ -73,9 +76,24 @@ class ProgramGenerator {
     return static_cast<std::int64_t>(rng_.next_below(0x1000)) * 8;
   }
 
+  /// A short run of flag-safe ALU ops (loop/TSX bodies — nothing that can
+  /// fault or touch R14/R15).
+  void emit_alu_body(ProgramBuilder& b) {
+    const int n = static_cast<int>(rng_.next_below(3)) + 1;
+    for (int i = 0; i < n; ++i) {
+      switch (rng_.next_below(4)) {
+        case 0: b.add(pick(), small_imm()); break;
+        case 1: b.xor_(pick(), pick()); break;
+        case 2: b.not_(pick()); break;
+        default: b.shl(pick(), static_cast<std::int64_t>(rng_.next_below(4)));
+                 break;
+      }
+    }
+  }
+
   void emit_random(ProgramBuilder& b, std::vector<std::string>& pending,
                    int& label_id) {
-    switch (rng_.next_below(18)) {
+    switch (rng_.next_below(21)) {
       case 0: b.mov(pick(), small_imm()); break;
       case 1: b.mov(pick(), pick()); break;
       case 2: b.add(pick(), small_imm()); break;
@@ -105,6 +123,32 @@ class ProgramGenerator {
         pending.push_back(std::move(l));
         break;
       }
+      case 18: {  // counted backward loop: R15 counts 0..trip, always taken
+                  // trip-1 times then falls through — bounded by
+                  // construction, exercising BPU backward prediction and
+                  // loop-carried flags in both engines
+        const std::int64_t trip =
+            static_cast<std::int64_t>(rng_.next_below(7)) + 1;
+        const std::string top = "B" + std::to_string(label_id++);
+        b.mov(Reg::R15, 0);
+        b.label(top);
+        emit_alu_body(b);
+        b.add(Reg::R15, 1);
+        b.cmp(Reg::R15, trip);
+        b.jcc(Cond::NZ, top);
+        break;
+      }
+      case 19: {  // TSX region: begin/end pair around a flag-safe body; no
+                  // fault can occur here, so the abort path never runs and
+                  // both engines must agree on the committed body
+        const std::string abort_to = "T" + std::to_string(label_id++);
+        b.tsx_begin(abort_to);
+        emit_alu_body(b);
+        b.tsx_end();
+        b.label(abort_to);
+        break;
+      }
+      case 20: b.clflush(Reg::R14, mem_disp()); break;
     }
   }
 
@@ -151,8 +195,8 @@ INSTANTIATE_TEST_SUITE_P(RandomPrograms, DifferentialTest,
                                            13ull, 21ull, 34ull, 55ull,
                                            89ull));
 
-// Hand-written loop programs (the generator is forward-only; loops deserve
-// explicit differential coverage).
+// Hand-written loop programs — fixed trip counts the generator's random
+// loops don't guarantee to hit.
 TEST(DifferentialLoopTest, CountedLoopsAgree) {
   for (int trip : {1, 7, 63, 200}) {
     ProgramBuilder b;
