@@ -31,7 +31,7 @@ int main() {
     uarch::CpuConfig cfg = uarch::make_config(uarch::CpuModel::KabyLakeI7_7700);
     cfg.transient_resteer_clear_penalty = penalty;
     os::Machine m({.model = cfg.model, .config = cfg});
-    core::TetCovertChannel cc(m, {.batches = 3});
+    core::TetCovertChannel cc(m, {{.batches = 3}});
     const auto payload = bench::random_bytes(64, 0xA1);
     const auto rep = cc.transmit(payload);
     std::printf("%10d %14zu %12s\n", penalty, rep.byte_errors,
@@ -48,7 +48,7 @@ int main() {
     cfg.early_clear_on_transient_mispredict = early;
     os::Machine m({.model = cfg.model, .config = cfg});
     const auto stream = bench::random_bytes(4, 0xA2);
-    core::TetZombieload atk(m, {.batches = 4});
+    core::TetZombieload atk(m, {{.batches = 4}});
     const bool ok = atk.leak(stream) == stream;
     std::printf("  early_clear=%-5s -> TET-ZBL (arg-min decode) %s\n",
                 early ? "on" : "off", ok ? "works" : "fails");
@@ -88,7 +88,7 @@ int main() {
     uarch::CpuConfig cfg = uarch::make_config(uarch::CpuModel::KabyLakeI7_7700);
     cfg.mem.jitter_amp = amp;
     os::Machine m({.model = cfg.model, .config = cfg});
-    core::TetCovertChannel cc(m, {.batches = 3});
+    core::TetCovertChannel cc(m, {{.batches = 3}});
     const auto payload = bench::random_bytes(64, 0xA4);
     const auto rep = cc.transmit(payload);
     std::printf("%12d %16zu\n", amp, rep.byte_errors);
@@ -129,7 +129,7 @@ int main() {
     os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
     const auto secret = bench::random_bytes(48, 0xA5);
     const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-    core::TetMeltdown atk(m, {.batches = batches});
+    core::TetMeltdown atk(m, {{.batches = batches}});
     const std::uint64_t start = m.core().cycle();
     const auto leaked = atk.leak(kaddr, secret.size());
     const auto rep = stats::evaluate_channel(

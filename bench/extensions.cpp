@@ -72,7 +72,7 @@ int main() {
     const auto secret = bench::random_bytes(2, 0xE2);
     const std::uint64_t kaddr = m.plant_kernel_secret(secret);
     const auto before = m.core().pmu().snapshot();
-    core::TetMeltdown atk(m, {.batches = 3});
+    core::TetMeltdown atk(m, {{.batches = 3}});
     (void)atk.leak(kaddr, secret.size());
     const auto r = verdict(uarch::pmu_delta(before, m.core().pmu().snapshot()));
     std::printf("  %-22s %-22s %-22s\n", "TET-MD",

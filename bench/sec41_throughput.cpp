@@ -31,28 +31,28 @@ int main(int argc, char** argv) {
 
   runner::RunSpec cc;
   cc.model = uarch::CpuModel::KabyLakeI7_7700;
-  cc.attack = runner::Attack::Cc;
+  cc.attack = "cc";
   cc.batches = 3;
   cc.payload_bytes = 1024;
   cc.payload_seed = 0x41;
 
   runner::RunSpec md;
   md.model = uarch::CpuModel::KabyLakeI7_7700;
-  md.attack = runner::Attack::Md;
+  md.attack = "md";
   md.batches = 6;
   md.payload_bytes = 256;  // same per-byte procedure as 1k
   md.payload_seed = 0x42;
 
   runner::RunSpec rsb;
   rsb.model = uarch::CpuModel::RaptorLakeI9_13900K;
-  rsb.attack = runner::Attack::Rsb;
+  rsb.attack = "rsb";
   rsb.batches = 2;
   rsb.payload_bytes = 1024;
   rsb.payload_seed = 0x43;
 
   runner::RunSpec kaslr;
   kaslr.model = uarch::CpuModel::CometLakeI9_10980XE;
-  kaslr.attack = runner::Attack::Kaslr;
+  kaslr.attack = "kaslr";
   kaslr.kernel.kpti = true;
   kaslr.trials = 3;  // the paper's n=3
   kaslr.rounds = 3;

@@ -37,36 +37,30 @@ const PaperRow kPaper[] = {
 
 // One matrix cell. The per-attack knobs (payload sizes, batches, rounds)
 // mirror the sequential harness this replaces.
-runner::RunSpec cell_spec(uarch::CpuModel model, runner::Attack attack) {
+runner::RunSpec cell_spec(uarch::CpuModel model, const std::string& attack) {
   runner::RunSpec spec;
   spec.model = model;
   spec.attack = attack;
   spec.trials = 1;
   spec.base_seed = 0x7ab1e2;
-  switch (attack) {
-    case runner::Attack::Cc:
-      spec.batches = 3;
-      spec.payload_bytes = 8;
-      spec.payload_seed = 1;
-      break;
-    case runner::Attack::Md:
-      spec.batches = 4;
-      spec.payload_bytes = 4;
-      spec.payload_seed = 2;
-      break;
-    case runner::Attack::Zbl:
-      spec.batches = 4;
-      spec.payload_bytes = 3;
-      spec.payload_seed = 3;
-      break;
-    case runner::Attack::Rsb:
-      spec.batches = 2;
-      spec.payload_bytes = 3;
-      spec.payload_seed = 4;
-      break;
-    default:  // Kaslr
-      spec.rounds = 2;
-      break;
+  if (attack == "cc") {
+    spec.batches = 3;
+    spec.payload_bytes = 8;
+    spec.payload_seed = 1;
+  } else if (attack == "md") {
+    spec.batches = 4;
+    spec.payload_bytes = 4;
+    spec.payload_seed = 2;
+  } else if (attack == "zbl") {
+    spec.batches = 4;
+    spec.payload_bytes = 3;
+    spec.payload_seed = 3;
+  } else if (attack == "rsb") {
+    spec.batches = 2;
+    spec.payload_bytes = 3;
+    spec.payload_seed = 4;
+  } else {  // kaslr
+    spec.rounds = 2;
   }
   return spec;
 }
@@ -82,13 +76,11 @@ int main(int argc, char** argv) {
               "TET-KASLR");
   std::printf("%s\n", std::string(110, '-').c_str());
 
-  const runner::Attack kColumns[] = {
-      runner::Attack::Cc, runner::Attack::Md, runner::Attack::Zbl,
-      runner::Attack::Rsb, runner::Attack::Kaslr};
+  const char* kColumns[] = {"cc", "md", "zbl", "rsb", "kaslr"};
 
   std::vector<runner::RunSpec> specs;
   for (const PaperRow& row : kPaper)
-    for (const runner::Attack a : kColumns) specs.push_back(cell_spec(row.model, a));
+    for (const char* a : kColumns) specs.push_back(cell_spec(row.model, a));
 
   runner::Executor ex(args.jobs);
   const auto results = runner::run_many(specs, ex, args.progress);

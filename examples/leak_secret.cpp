@@ -66,7 +66,8 @@ int main() {
       machine.memsys().clflush(baseline::kProbeArrayBase +
                                static_cast<std::uint64_t>(i) * 64);
     core::TetMeltdown atk(machine);
-    const auto leaked = atk.leak(kaddr, secret.size());
+    const core::AttackResult res = atk.run(secret);
+    const std::vector<std::uint8_t>& leaked = res.bytes;
     std::printf("[TET-MD]       leaked: \"%s\"  (%s)\n",
                 printable(leaked).c_str(),
                 leaked == secret ? "exact" : "errors!");
@@ -76,8 +77,8 @@ int main() {
                 "of the transient window; no\n");
     std::printf("                  attacker-chosen cache state was used "
                 "(stateless & transient-only, Table 1)\n\n");
-    std::printf("probes used: %zu, simulated time: %.4f s\n",
-                atk.stats().probes, machine.seconds(atk.stats().cycles));
+    std::printf("probes used: %zu, simulated time: %.4f s\n", res.probes,
+                res.seconds);
   }
 
   // --- And the mitigation story --------------------------------------------
@@ -85,7 +86,7 @@ int main() {
     os::Machine patched({.model = uarch::CpuModel::KabyLakeI7_7700,
                          .kernel = {.kpti = true}});
     const std::uint64_t kaddr2 = patched.plant_kernel_secret(secret);
-    core::TetMeltdown atk(patched, {.batches = 3});
+    core::TetMeltdown atk(patched, {{.batches = 3}});
     const auto leaked = atk.leak(kaddr2, secret.size());
     std::printf("with KPTI enabled: leaked \"%s\" — %s (the secret page is "
                 "simply unmapped, §6.2)\n",

@@ -1,17 +1,25 @@
 // whisper_cli — interactive playground for the library.
 //
-//   whisper_cli tote   [--cpu N] [--trigger|--no-trigger] [--trace]
-//                      [--trace-out PATH] [--metrics-out PATH]
-//   whisper_cli leak   [--cpu N] [--secret STRING] [--attack md|rsb|v1|zbl]
-//                      [--trace-out PATH] [--metrics-out PATH]
-//   whisper_cli kaslr  [--cpu N] [--kpti] [--flare] [--seed S]
-//                      [--trials T] [--jobs J] [--json PATH]
-//                      [--trace-out PATH] [--metrics-out PATH]
-//   whisper_cli matrix [--jobs J]
+//   whisper_cli tote    [--cpu N] [--trigger|--no-trigger] [--trace]
+//                       [--trace-out PATH] [--metrics-out PATH]
+//   whisper_cli leak    [--cpu N] [--secret STRING] [--attack NAME]
+//                       [--noise PROFILE] [--adaptive] [--confidence C]
+//                       [--budget B] [--trace-out PATH] [--metrics-out PATH]
+//   whisper_cli kaslr   [--cpu N] [--kpti] [--flare] [--seed S]
+//                       [--trials T] [--jobs J] [--json PATH]
+//                       [--noise PROFILE] [--adaptive]
+//                       [--trace-out PATH] [--metrics-out PATH]
+//   whisper_cli matrix  [--jobs J]
+//   whisper_cli attacks                 (also: --list-attacks anywhere)
 //   whisper_cli models
 //
+// Attack NAMEs come from core::attack_registry() — `whisper_cli attacks`
+// lists them; anything registered there is runnable here, including through
+// `leak` (channel attacks move --secret; kaslr reports the found base).
 // CPU index N follows Table 2 order: 0=i7-6700, 1=i7-7700, 2=i9-10980XE,
-// 3=i9-13900K, 4=Ryzen 5600G.
+// 3=i9-13900K, 4=Ryzen 5600G. --noise picks an interference preset
+// (off|quiet|desktop|noisy-server); --adaptive escalates batch counts until
+// the decode confidence clears --confidence or --budget caps it.
 //
 // `kaslr --trials T --jobs J` and `matrix --jobs J` go through
 // whisper::runner: independent simulated machines fan out across J worker
@@ -28,12 +36,9 @@
 #include <vector>
 
 #include "core/attacks/common.h"
-#include "core/attacks/kaslr.h"
-#include "core/attacks/meltdown.h"
-#include "core/attacks/spectre_rsb.h"
-#include "core/attacks/spectre_v1.h"
-#include "core/attacks/zombieload.h"
+#include "core/attacks/registry.h"
 #include "core/gadgets.h"
+#include "noise/noise.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -145,9 +150,37 @@ int cmd_tote(const Args& args) {
   return 0;
 }
 
+int cmd_attacks() {
+  std::printf("%-8s %-8s %s\n", "name", "kind", "description");
+  for (const core::AttackInfo& info : core::attack_registry())
+    std::printf("%-8s %-8s %s\n", info.name.c_str(),
+                info.channel ? "channel" : "kaslr", info.description.c_str());
+  return 0;
+}
+
 int cmd_leak(const Args& args) {
-  os::Machine m({.model = cpu_from(args)});
   const std::string what = args.value("--attack", "md");
+  const core::AttackInfo* info = core::find_attack(what);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown --attack '%s'; registered attacks:\n",
+                 what.c_str());
+    for (const std::string& n : core::attack_names())
+      std::fprintf(stderr, "  %s\n", n.c_str());
+    return 2;
+  }
+
+  os::MachineOptions mo;
+  mo.model = cpu_from(args);
+  const std::string noise_name = args.value("--noise", "off");
+  const auto profile = noise::NoiseProfile::by_name(noise_name);
+  if (!profile) {
+    std::fprintf(stderr, "unknown --noise '%s' (off|quiet|desktop|"
+                 "noisy-server)\n", noise_name.c_str());
+    return 2;
+  }
+  mo.noise = *profile;
+  os::Machine m(mo);
+
   const std::string secret_str = args.value("--secret", "hunter2");
   const std::vector<std::uint8_t> secret(secret_str.begin(),
                                          secret_str.end());
@@ -158,42 +191,38 @@ int cmd_leak(const Args& args) {
   if (!trace_out.empty()) m.core().set_trace(&log);
   const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
 
-  std::vector<std::uint8_t> leaked;
-  if (what == "md") {
-    const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-    core::TetMeltdown atk(m);
-    leaked = atk.leak(kaddr, secret.size());
-  } else if (what == "rsb") {
-    m.poke_bytes(os::Machine::kDataBase + 0x1000, secret);
-    core::TetSpectreRsb atk(m);
-    leaked = atk.leak(os::Machine::kDataBase + 0x1000, secret.size());
-  } else if (what == "v1") {
-    core::TetSpectreV1 atk(m);
-    const std::uint64_t addr = core::TetSpectreV1::kArrayBase + 0x80;
-    m.poke_bytes(addr, secret);
-    leaked = atk.leak(addr, secret.size());
-  } else if (what == "zbl") {
-    core::TetZombieload atk(m);
-    leaked = atk.leak(secret);
-  } else {
-    std::fprintf(stderr, "unknown --attack '%s' (md|rsb|v1|zbl)\n",
-                 what.c_str());
-    return 2;
-  }
+  core::AttackOptions opt;
+  opt.adaptive = args.has("--adaptive");
+  opt.confidence_threshold = std::stod(args.value("--confidence", "0.5"));
+  opt.batch_budget = std::stoi(args.value("--budget", "0"));
+  const auto atk = info->make(m, opt);
+  const core::AttackResult r =
+      atk->run(info->channel ? std::span<const std::uint8_t>(secret)
+                             : std::span<const std::uint8_t>());
 
   m.core().set_trace(nullptr);
-  std::string printable;
-  for (std::uint8_t b : leaked)
-    printable += (b >= 32 && b < 127) ? static_cast<char>(b) : '.';
-  std::printf("TET-%s on %s leaked: \"%s\"  (%s)\n", what.c_str(),
-              m.config().name.c_str(), printable.c_str(),
-              leaked == secret ? "exact" : "with errors");
+  if (info->channel) {
+    std::string printable;
+    for (std::uint8_t b : r.bytes)
+      printable += (b >= 32 && b < 127) ? static_cast<char>(b) : '.';
+    std::printf("TET-%s on %s leaked: \"%s\"  (%s, confidence %.2f%s)\n",
+                what.c_str(), m.config().name.c_str(), printable.c_str(),
+                r.success ? "exact" : "with errors", r.confidence,
+                r.gave_up ? ", gave up on some bytes" : "");
+  } else {
+    std::printf("TET-%s on %s: %s  found %#llx true %#llx "
+                "(confidence %.2f)\n",
+                what.c_str(), m.config().name.c_str(),
+                r.success ? "BROKEN" : "held",
+                static_cast<unsigned long long>(r.found_base),
+                static_cast<unsigned long long>(r.true_base), r.confidence);
+  }
   if (!trace_out.empty() && obs::write_chrome_trace(log, trace_out))
     std::printf("pipeline trace of the leak written to %s (%zu events)\n",
                 trace_out.c_str(), log.size());
   if (!metrics_out.empty())
     write_metrics(machine_metrics(m, pmu_before), metrics_out);
-  return leaked == secret ? 0 : 1;
+  return r.success ? 0 : 1;
 }
 
 int cmd_kaslr(const Args& args) {
@@ -207,12 +236,17 @@ int cmd_kaslr(const Args& args) {
     opts.kernel.kpti = args.has("--kpti");
     opts.kernel.flare = args.has("--flare");
     opts.seed = std::stoull(args.value("--seed", "0"));
+    if (const auto p = noise::NoiseProfile::by_name(
+            args.value("--noise", "off")))
+      opts.noise = *p;
     os::Machine m(opts);
     obs::EventLog log;
     if (!trace_out.empty()) m.core().set_trace(&log);
     const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
-    core::TetKaslr atk(m);
-    const auto r = atk.run();
+    core::AttackOptions opt;
+    opt.adaptive = args.has("--adaptive");
+    const auto atk = core::make_attack("kaslr", m, opt);
+    const core::AttackResult r = atk->run({});
     m.core().set_trace(nullptr);
     std::printf("TET-KASLR on %s%s%s: %s  found %#llx true %#llx  (%.4f s, "
                 "%zu probes)\n",
@@ -235,11 +269,15 @@ int cmd_kaslr(const Args& args) {
   // machine with a fresh KASLR draw, seeded from --seed ⊕ trial index.
   runner::RunSpec spec;
   spec.model = cpu_from(args);
-  spec.attack = runner::Attack::Kaslr;
+  spec.attack = "kaslr";
   spec.trials = trials;
   spec.kernel.kpti = args.has("--kpti");
   spec.kernel.flare = args.has("--flare");
   spec.base_seed = std::stoull(args.value("--seed", "1"));
+  if (const auto p = noise::NoiseProfile::by_name(
+          args.value("--noise", "off")))
+    spec.noise = *p;
+  spec.adaptive = args.has("--adaptive");
   spec.collect_trace = !trace_out.empty();
   const int jobs = std::stoi(args.value("--jobs", "1"));
   const auto r = runner::run(spec, jobs, /*progress=*/true);
@@ -268,13 +306,11 @@ int cmd_matrix(const Args& args) {
   // The Table 2 matrix (5 CPUs × 5 attacks) through the parallel runner;
   // bench/table2_matrix prints the full paper comparison.
   const int jobs = std::stoi(args.value("--jobs", "1"));
-  const runner::Attack attacks[] = {
-      runner::Attack::Cc, runner::Attack::Md, runner::Attack::Zbl,
-      runner::Attack::Rsb, runner::Attack::Kaslr};
+  const std::vector<std::string> attacks = core::attack_names();
 
   std::vector<runner::RunSpec> specs;
   for (const uarch::CpuModel model : uarch::all_models())
-    for (const runner::Attack a : attacks) {
+    for (const std::string& a : attacks) {
       runner::RunSpec spec;
       spec.model = model;
       spec.attack = a;
@@ -288,13 +324,14 @@ int cmd_matrix(const Args& args) {
   runner::Executor ex(jobs);
   const auto results = runner::run_many(specs, ex, /*progress=*/true);
 
-  std::printf("%-24s %-8s %-8s %-8s %-8s %-8s\n", "CPU", "cc", "md", "zbl",
-              "rsb", "kaslr");
+  std::printf("%-24s", "CPU");
+  for (const std::string& a : attacks) std::printf(" %-8s", a.c_str());
+  std::printf("\n");
   std::size_t cell = 0;
   for (const uarch::CpuModel model : uarch::all_models()) {
     const auto cfg = uarch::make_config(model);
     std::printf("%-24s", cfg.name.c_str());
-    for (std::size_t c = 0; c < 5; ++c)
+    for (std::size_t c = 0; c < attacks.size(); ++c)
       std::printf(" %-9s", results[cell++].all_succeeded() ? "✓" : "✗");
     std::printf("\n");
   }
@@ -309,13 +346,16 @@ int main(int argc, char** argv) {
   Args args;
   for (int i = 2; i < argc; ++i) args.positional.emplace_back(argv[i]);
   const std::string cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "--list-attacks" || args.has("--list-attacks") ||
+      cmd == "attacks")
+    return cmd_attacks();
   if (cmd == "models") return cmd_models();
   if (cmd == "tote") return cmd_tote(args);
   if (cmd == "leak") return cmd_leak(args);
   if (cmd == "kaslr") return cmd_kaslr(args);
   if (cmd == "matrix") return cmd_matrix(args);
   std::fprintf(stderr,
-               "usage: whisper_cli <models|tote|leak|kaslr|matrix> "
+               "usage: whisper_cli <models|tote|leak|kaslr|matrix|attacks> "
                "[options]\n  see the header comment of examples/"
                "whisper_cli.cpp\n");
   return 2;

@@ -12,6 +12,8 @@
 #   4. Every runner flag the shared harness parser (bench/bench_util.h)
 #      accepts must be documented in the guide's flag table — adding a
 #      flag without documenting it fails this check.
+#   5. Same for the extra flags bench/noise_sweep.cpp parses on top of the
+#      shared set (--noise-profile, --attacks, ...).
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -63,6 +65,18 @@ for flag in $flags; do
   fi
 done
 
+# The noise-sweep harness has its own parser on top of the shared one; its
+# flags must be documented the same way.
+sweep_flags=$(grep -oE '"--[a-z-]+"' "$root/bench/noise_sweep.cpp" |
+              tr -d '"' | sort -u)
+for flag in $sweep_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: bench/noise_sweep.cpp parses $flag but docs/REPRODUCING.md" \
+         "does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -75,6 +89,7 @@ fi
 if [[ $fail -eq 0 ]]; then
   echo "OK: $(echo "$documented" | wc -w) documented harnesses," \
        "$(echo "$harnesses" | wc -w) bench sources," \
-       "$(echo "$flags" | wc -w) harness flags, all in sync"
+       "$(echo "$flags" | wc -w)+$(echo "$sweep_flags" | wc -w) harness" \
+       "flags, all in sync"
 fi
 exit $fail

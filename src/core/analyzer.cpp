@@ -36,6 +36,20 @@ int ArgmaxAnalyzer::decode() const {
       std::max_element(votes_.begin(), votes_.end()) - votes_.begin());
 }
 
+double ArgmaxAnalyzer::confidence() const {
+  if (batches_ == 0) return 0.0;
+  std::uint32_t top = 0, second = 0;
+  for (const std::uint32_t v : votes_) {
+    if (v > top) {
+      second = top;
+      top = v;
+    } else if (v > second) {
+      second = v;
+    }
+  }
+  return static_cast<double>(top - second) / static_cast<double>(batches_);
+}
+
 int ArgmaxAnalyzer::decode_by_mean() const {
   const auto means = mean_tote_by_value();
   int best = 0;

@@ -40,6 +40,13 @@ class ArgmaxAnalyzer {
   /// produce occasional outliers that steal batch votes.
   [[nodiscard]] int decode_by_mean() const;
 
+  /// Vote-margin confidence of decode() in [0, 1]: (top votes − runner-up
+  /// votes) / batches. 1 means every batch voted the same value; 0 means a
+  /// tie (or no batches yet). This is what the adaptive escalation loop
+  /// thresholds against — under noise the margin grows with batches when a
+  /// true signal exists and stays near 0 when it does not.
+  [[nodiscard]] double confidence() const;
+
   [[nodiscard]] const std::array<std::uint32_t, 256>& votes() const noexcept {
     return votes_;
   }

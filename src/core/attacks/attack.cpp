@@ -1,0 +1,53 @@
+#include "core/attacks/attack.h"
+
+#include <algorithm>
+
+namespace whisper::core {
+
+AttackResult Attack::run(std::span<const std::uint8_t> payload) {
+  AttackResult r;
+  r.attack = name_;
+
+  const std::uint64_t start = m_.core().cycle();
+  execute(payload, r);
+  r.cycles = m_.core().cycle() - start;
+  r.seconds = m_.seconds(r.cycles);
+
+  if (!payload.empty()) {
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      if (i >= r.bytes.size() || r.bytes[i] != payload[i]) ++r.byte_errors;
+    r.success = r.byte_errors == 0;
+  }
+  return r;
+}
+
+std::uint8_t Attack::decode_adaptive(AttackResult& r, ArgmaxAnalyzer& an,
+                                     int initial,
+                                     const std::function<void()>& run_batch) {
+  const int n0 = std::max(1, opt_.batches.value_or(initial));
+  int done = 0;
+  const auto run_n = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      run_batch();
+      an.end_batch();
+      ++done;
+    }
+  };
+
+  run_n(n0);
+  if (opt_.adaptive) {
+    const int budget =
+        opt_.batch_budget > 0 ? std::max(opt_.batch_budget, n0) : 8 * n0;
+    // Escalate by doubling the total each pass — confidence either clears
+    // the threshold on the way or the budget bounds the spend.
+    while (an.confidence() < opt_.confidence_threshold && done < budget)
+      run_n(std::min(done, budget - done));
+    if (an.confidence() < opt_.confidence_threshold) ++r.gave_up;
+  }
+
+  r.confidence = std::min(r.confidence, an.confidence());
+  r.tote.merge(an.tote_histogram());
+  return static_cast<std::uint8_t>(an.decode());
+}
+
+}  // namespace whisper::core

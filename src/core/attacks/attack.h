@@ -1,0 +1,131 @@
+// The unified attack interface.
+//
+// Every ToTE attack (TET-CC, TET-MD, TET-ZBL, TET-RSB, TET-V1, TET-KASLR)
+// derives from core::Attack and reports through one AttackResult: callers —
+// the runner, the CLI, the bench harnesses — construct any attack by name
+// via core::make_attack() (attacks/registry.h) and never touch a per-class
+// result type.
+//
+//   auto atk = core::make_attack("md", m, {.adaptive = true});
+//   const core::AttackResult r = atk->run(secret_bytes);
+//   // r.bytes holds the leaked copy, r.confidence the weakest byte's vote
+//   // margin, r.gave_up how many bytes exhausted their batch budget.
+//
+// run() plants the payload where the class's threat model says the secret
+// lives (kernel memory for MD, the victim's LFB stream for ZBL, gadget-
+// reachable data for RSB/V1, the shared page for CC; KASLR ignores it),
+// leaks it back, and accounts wall time once, centrally — per-class timing
+// code used to diverge (the V1/RSB paths never filled `seconds`).
+//
+// Adaptive decoding (opt-in via AttackOptions::adaptive): each byte starts
+// at the class's default batch count and escalates exponentially until the
+// ArgmaxAnalyzer vote margin clears `confidence_threshold` or the batch
+// budget is spent — a byte that never converges is counted in `gave_up`
+// instead of being reported as silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/gadgets.h"
+#include "os/machine.h"
+#include "stats/histogram.h"
+
+namespace whisper::core {
+
+/// Knobs shared by every attack. Derived classes embed this as the base of
+/// their own Options aggregate and add class-specific knobs; unset optionals
+/// fall back to the class's defaults. Note the C++20 aggregate rule: with a
+/// base class in the aggregate, designated initializers can only name the
+/// *derived* members — base overrides take an inner braced list,
+/// `Options{{.batches = 3}, .trainings_per_probe = 2}`.
+struct AttackOptions {
+  /// Argmax batches per byte (TET-KASLR: probe rounds per sweep).
+  std::optional<int> batches;
+  /// Transient-window kind override (TSX vs signal), where the class
+  /// supports both.
+  std::optional<WindowKind> window;
+
+  /// Adaptive escalation: retry each byte with exponentially more batches
+  /// until the vote-margin confidence clears `confidence_threshold` or the
+  /// total reaches `batch_budget`.
+  bool adaptive = false;
+  double confidence_threshold = 0.5;
+  /// Total batch cap per byte under `adaptive`; 0 = 8× the initial count.
+  int batch_budget = 0;
+};
+
+/// What any attack reports. Channel attacks fill bytes/byte_errors against
+/// the planted payload; TET-KASLR fills the found_*/slot fields instead.
+struct AttackResult {
+  std::string attack;          // registry name ("md", "kaslr", ...)
+  bool success = false;
+  std::vector<std::uint8_t> bytes;  // decoded payload (channels)
+  std::size_t byte_errors = 0;
+  std::size_t probes = 0;      // gadget executions
+  std::uint64_t cycles = 0;    // simulated cycles, measured centrally
+  double seconds = 0.0;        // cycles on the machine's clock
+  /// Weakest per-byte decode confidence (ArgmaxAnalyzer vote margin for
+  /// channels, slot vote margin for KASLR); 1.0 when nothing was decoded.
+  double confidence = 1.0;
+  /// Bytes (or sweeps) whose adaptive budget ran out below the threshold.
+  std::size_t gave_up = 0;
+  /// ToTE observations across all probes (Fig. 1b view); per-slot scores
+  /// for KASLR.
+  stats::Histogram tote;
+
+  // TET-KASLR extras (found_slot = -1 for channel attacks).
+  int found_slot = -1;
+  std::uint64_t found_base = 0;
+  std::uint64_t true_base = 0;
+  /// Per-slot best scores (lower = mapped candidate), for plotting.
+  std::vector<std::uint64_t> slot_scores;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  Attack(const Attack&) = delete;
+  Attack& operator=(const Attack&) = delete;
+
+  /// Registry name of this attack ("cc", "md", ...).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const AttackOptions& options() const noexcept { return opt_; }
+
+  /// The unified entry point: plant `payload` as the secret, leak it back,
+  /// and report. Wall time (cycles/seconds) and the byte-error comparison
+  /// are accounted here, identically for every class.
+  [[nodiscard]] AttackResult run(std::span<const std::uint8_t> payload);
+
+ protected:
+  Attack(os::Machine& m, std::string name, AttackOptions opt)
+      : m_(m), opt_(std::move(opt)), name_(std::move(name)) {}
+
+  /// Class body: plant the payload, probe, decode into `r`. Timing and the
+  /// payload comparison are handled by run().
+  virtual void execute(std::span<const std::uint8_t> payload,
+                       AttackResult& r) = 0;
+
+  /// Shared per-byte decode loop. `run_batch` performs one full test-value
+  /// sweep, feeding `an` (and bumping r.probes); the base runs `initial`
+  /// batches, then — under opt_.adaptive — doubles the total until the vote
+  /// margin clears the threshold or the budget cap. Folds the analyzer's
+  /// confidence (min) and histogram into `r` and returns the decoded byte.
+  std::uint8_t decode_adaptive(AttackResult& r, ArgmaxAnalyzer& an,
+                               int initial,
+                               const std::function<void()>& run_batch);
+
+  os::Machine& m_;
+  AttackOptions opt_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace whisper::core

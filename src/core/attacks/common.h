@@ -2,7 +2,6 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 namespace whisper::core {
 
@@ -10,10 +9,5 @@ namespace whisper::core {
 /// windows (the `*(char*)(0x0)` of Fig. 1a) and as the Zombieload sampling
 /// target. Line offset 0 so LFB sampling reads the victim value's LSB.
 inline constexpr std::uint64_t kNullProbeAddress = 0x0ull;
-
-struct AttackStats {
-  std::uint64_t cycles = 0;   // simulated cycles consumed
-  std::size_t probes = 0;     // gadget executions
-};
 
 }  // namespace whisper::core

@@ -13,51 +13,66 @@
 //    evicted probe hits the TLB only for genuinely mapped targets, because
 //    FLARE's reserved dummies never fill it (DESIGN.md §1.4);
 //  * Docker: identical probing; namespaces do not change the µarch (§4.5).
+//
+// Decoding is round-major: every round sweeps all 512 slots, classifies
+// them with the fastest-vs-median threshold and votes for the first mapped
+// slot; the plurality of round votes wins. Per-round voting (rather than a
+// single min-over-rounds pass) is what makes the adaptive escalation of
+// AttackOptions::adaptive meaningful under interference — a DVFS downclock
+// can make *unmapped* probes of one round look fast, but it skews that
+// round's whole sweep, not the cross-round vote.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/attacks/attack.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
 
 namespace whisper::core {
 
-class TetKaslr {
+class TetKaslr final : public Attack {
  public:
-  struct Options {
-    int rounds = 3;                   // probes per slot (min is kept)
-    std::optional<bool> double_probe; // default: auto (on under FLARE)
-    std::optional<WindowKind> window;
-  };
+  static constexpr int kDefaultRounds = 3;
 
-  struct Result {
-    bool success = false;
-    int found_slot = -1;
-    std::uint64_t found_base = 0;
-    std::uint64_t true_base = 0;
-    std::size_t probes = 0;
-    std::uint64_t cycles = 0;
-    double seconds = 0.0;
-    /// Per-slot scores (ToTE, lower = mapped candidate) for plotting.
-    std::vector<std::uint64_t> slot_scores;
+  struct Options : AttackOptions {
+    int rounds = kDefaultRounds;      // sweep rounds (base `batches` wins
+                                      // when set — the registry knob)
+    std::optional<bool> double_probe; // default: auto (on under FLARE)
   };
 
   explicit TetKaslr(os::Machine& m) : TetKaslr(m, Options{}) {}
   TetKaslr(os::Machine& m, Options opt);
 
-  [[nodiscard]] Result run();
+  /// Break KASLR: the payload is ignored (there is no byte stream to move);
+  /// the result's found_slot/found_base/true_base/slot_scores carry the
+  /// outcome and `confidence` the cross-round vote margin.
+  using Attack::run;
+  [[nodiscard]] AttackResult run() { return Attack::run({}); }
 
   /// ToTE of a single probe at `vaddr` (after TLB eviction) — exposed for
   /// calibration experiments and the PMU toolset scenarios.
   [[nodiscard]] std::uint64_t probe_once(std::uint64_t vaddr,
                                          bool evict = true);
 
+ protected:
+  void execute(std::span<const std::uint8_t> payload, AttackResult& r) override;
+
  private:
-  os::Machine& m_;
-  Options opt_;
+  /// One full sweep: per-slot scores of this round (max() = failed probe).
+  std::vector<std::uint64_t> sweep_round(std::uint64_t probe_offset,
+                                         bool double_probe, AttackResult& r);
+  /// The §4.5 rule: first slot classified mapped by the fastest-vs-median
+  /// threshold.
+  [[nodiscard]] static int first_mapped_slot(
+      const std::vector<std::uint64_t>& scores);
+
+  int rounds_;
+  std::optional<bool> double_probe_;
   WindowKind window_;
   GadgetProgram gadget_;
   bool jcc_parity_ = false;  // alternate the attacker-driven Jcc direction

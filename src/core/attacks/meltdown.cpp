@@ -3,33 +3,40 @@
 namespace whisper::core {
 
 TetMeltdown::TetMeltdown(os::Machine& m, Options opt)
-    : m_(m), opt_(opt),
+    : Attack(m, "md", opt),
       // Classic Meltdown suppresses the fault with a signal handler; TSX is
       // an opt-in acceleration (the paper's transient_begin offers both).
       window_(opt.window.value_or(WindowKind::Signal)),
       gadget_(make_tet_gadget({.window = window_,
                                .source = SecretSource::FaultingLoad})) {}
 
-std::uint8_t TetMeltdown::leak_byte(std::uint64_t kvaddr) {
+std::uint8_t TetMeltdown::leak_byte_into(std::uint64_t kvaddr,
+                                         AttackResult& r) {
   analyzer_.reset();
-  const std::uint64_t start = m_.core().cycle();
-
   std::array<std::uint64_t, isa::kNumRegs> regs{};
   regs[static_cast<std::size_t>(isa::Reg::RCX)] = kvaddr;
 
-  for (int batch = 0; batch < opt_.batches; ++batch) {
+  return decode_adaptive(r, analyzer_, kDefaultBatches, [&] {
     for (int tv = 0; tv <= 255; ++tv) {
       regs[static_cast<std::size_t>(isa::Reg::RBX)] =
           static_cast<std::uint64_t>(tv);
-      const std::uint64_t tote = run_tote(m_, gadget_, regs);
-      analyzer_.add(tv, tote);
-      ++stats_.probes;
+      analyzer_.add(tv, run_tote(m_, gadget_, regs));
+      ++r.probes;
     }
-    analyzer_.end_batch();
-  }
+  });
+}
 
-  stats_.cycles += m_.core().cycle() - start;
-  return static_cast<std::uint8_t>(analyzer_.decode());
+void TetMeltdown::execute(std::span<const std::uint8_t> payload,
+                          AttackResult& r) {
+  const std::uint64_t kvaddr = m_.plant_kernel_secret(payload);
+  r.bytes.reserve(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    r.bytes.push_back(leak_byte_into(kvaddr + i, r));
+}
+
+std::uint8_t TetMeltdown::leak_byte(std::uint64_t kvaddr) {
+  AttackResult scratch;
+  return leak_byte_into(kvaddr, scratch);
 }
 
 std::vector<std::uint8_t> TetMeltdown::leak(std::uint64_t kvaddr,

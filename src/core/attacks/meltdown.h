@@ -5,47 +5,48 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/analyzer.h"
+#include "core/attacks/attack.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
 
 namespace whisper::core {
 
-class TetMeltdown {
+class TetMeltdown final : public Attack {
  public:
-  struct Options {
-    int batches = 6;                      // argmax votes per byte
-    std::optional<WindowKind> window;     // default: TSX if available
-  };
+  static constexpr int kDefaultBatches = 6;
 
-  explicit TetMeltdown(os::Machine& m) : TetMeltdown(m, Options{}) {}
-  TetMeltdown(os::Machine& m, Options opt);
+  struct Options : AttackOptions {};
 
-  /// Leak one byte at the kernel virtual address.
+  explicit TetMeltdown(os::Machine& m, Options opt = Options{});
+
+  /// Unified entry: run(payload) plants the payload as a kernel secret via
+  /// Machine::plant_kernel_secret and leaks it back.
+
+  /// Typed conveniences for callers that already hold a kernel address.
   [[nodiscard]] std::uint8_t leak_byte(std::uint64_t kvaddr);
-  /// Leak `len` consecutive bytes.
   [[nodiscard]] std::vector<std::uint8_t> leak(std::uint64_t kvaddr,
                                                std::size_t len);
 
-  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
-  /// Analysis state of the most recent leak_byte (for Fig. 1b-style plots).
+  /// Analysis state of the most recent byte (for Fig. 1b-style plots).
   [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
     return analyzer_;
   }
   [[nodiscard]] WindowKind window() const noexcept { return window_; }
 
+ protected:
+  void execute(std::span<const std::uint8_t> payload, AttackResult& r) override;
+
  private:
-  os::Machine& m_;
-  Options opt_;
+  std::uint8_t leak_byte_into(std::uint64_t kvaddr, AttackResult& r);
+
   WindowKind window_;
   GadgetProgram gadget_;
   ArgmaxAnalyzer analyzer_{Polarity::Max};
-  AttackStats stats_;
 };
 
 }  // namespace whisper::core

@@ -24,7 +24,7 @@ std::uint64_t SmtCovertChannel::measure_bit(bool bit) {
   const uarch::RunResult r = m_.run_smt(spy_, spy_regs, trojan.prog,
                                         trojan_regs, -1,
                                         trojan.signal_handler);
-  ++stats_.probes;
+  ++probes_;
   const auto& tsc = r.thread[0].tsc;
   if (tsc.size() < 2 || tsc[1] <= tsc[0]) return 0;
   return tsc[1] - tsc[0];
@@ -64,7 +64,6 @@ stats::ChannelReport SmtCovertChannel::transmit(
   }
 
   const std::uint64_t cycles = m_.core().cycle() - start;
-  stats_.cycles += cycles;
   return stats::evaluate_channel(bytes, received, cycles, m_.config().ghz);
 }
 

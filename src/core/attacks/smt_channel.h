@@ -48,7 +48,8 @@ class SmtCovertChannel {
   [[nodiscard]] std::uint64_t threshold() const noexcept {
     return threshold_;
   }
-  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
+  /// SMT slot measurements taken so far (calibration included).
+  [[nodiscard]] std::size_t probes() const noexcept { return probes_; }
 
  private:
   void calibrate();
@@ -59,7 +60,7 @@ class SmtCovertChannel {
   GadgetProgram trojan_one_;
   GadgetProgram trojan_zero_;
   std::uint64_t threshold_ = 0;
-  AttackStats stats_;
+  std::size_t probes_ = 0;
   stats::Xoshiro256 rng_;
 };
 

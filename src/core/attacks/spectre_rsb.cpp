@@ -3,28 +3,35 @@
 namespace whisper::core {
 
 TetSpectreRsb::TetSpectreRsb(os::Machine& m, Options opt)
-    : m_(m), opt_(opt), gadget_(make_rsb_gadget()) {}
+    : Attack(m, "rsb", opt), gadget_(make_rsb_gadget()) {}
 
-std::uint8_t TetSpectreRsb::leak_byte(std::uint64_t vaddr) {
+std::uint8_t TetSpectreRsb::leak_byte_into(std::uint64_t vaddr,
+                                           AttackResult& r) {
   analyzer_.reset();
-  const std::uint64_t start = m_.core().cycle();
-
   std::array<std::uint64_t, isa::kNumRegs> regs{};
   regs[static_cast<std::size_t>(isa::Reg::RDX)] = vaddr;
 
-  for (int batch = 0; batch < opt_.batches; ++batch) {
+  return decode_adaptive(r, analyzer_, kDefaultBatches, [&] {
     for (int tv = 0; tv <= 255; ++tv) {
       regs[static_cast<std::size_t>(isa::Reg::RBX)] =
           static_cast<std::uint64_t>(tv);
-      const std::uint64_t tote = run_tote(m_, gadget_, regs);
-      analyzer_.add(tv, tote);
-      ++stats_.probes;
+      analyzer_.add(tv, run_tote(m_, gadget_, regs));
+      ++r.probes;
     }
-    analyzer_.end_batch();
-  }
+  });
+}
 
-  stats_.cycles += m_.core().cycle() - start;
-  return static_cast<std::uint8_t>(analyzer_.decode());
+void TetSpectreRsb::execute(std::span<const std::uint8_t> payload,
+                            AttackResult& r) {
+  m_.poke_bytes(kSecretBase, payload);
+  r.bytes.reserve(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    r.bytes.push_back(leak_byte_into(kSecretBase + i, r));
+}
+
+std::uint8_t TetSpectreRsb::leak_byte(std::uint64_t vaddr) {
+  AttackResult scratch;
+  return leak_byte_into(vaddr, scratch);
 }
 
 std::vector<std::uint8_t> TetSpectreRsb::leak(std::uint64_t vaddr,

@@ -12,20 +12,25 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "core/attacks/attack.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
 
 namespace whisper::core {
 
-class TetSpectreRsb {
+class TetSpectreRsb final : public Attack {
  public:
-  struct Options {
-    int batches = 2;
-  };
+  static constexpr int kDefaultBatches = 2;
 
-  explicit TetSpectreRsb(os::Machine& m) : TetSpectreRsb(m, Options{}) {}
-  TetSpectreRsb(os::Machine& m, Options opt);
+  /// Where run(payload) plants the secret: gadget-reachable attacker data,
+  /// standing in for the sandboxed-but-mapped secret of the Spectre model.
+  static constexpr std::uint64_t kSecretBase =
+      os::Machine::kDataBase + 0x1000;
+
+  struct Options : AttackOptions {};
+
+  explicit TetSpectreRsb(os::Machine& m, Options opt = Options{});
 
   /// Leak bytes the gadget can architecturally reach but the attacker's
   /// sandbox cannot (the Spectre threat model): `vaddr` is in the gadget's
@@ -34,17 +39,18 @@ class TetSpectreRsb {
                                                std::size_t len);
   [[nodiscard]] std::uint8_t leak_byte(std::uint64_t vaddr);
 
-  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
     return analyzer_;
   }
 
+ protected:
+  void execute(std::span<const std::uint8_t> payload, AttackResult& r) override;
+
  private:
-  os::Machine& m_;
-  Options opt_;
+  std::uint8_t leak_byte_into(std::uint64_t vaddr, AttackResult& r);
+
   GadgetProgram gadget_;
   ArgmaxAnalyzer analyzer_{Polarity::Min};
-  AttackStats stats_;
 };
 
 }  // namespace whisper::core

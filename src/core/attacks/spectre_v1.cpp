@@ -3,7 +3,9 @@
 namespace whisper::core {
 
 TetSpectreV1::TetSpectreV1(os::Machine& m, Options opt)
-    : m_(m), opt_(opt), gadget_(make_spectre_v1_gadget()) {
+    : Attack(m, "v1", opt),
+      trainings_per_probe_(opt.trainings_per_probe),
+      gadget_(make_spectre_v1_gadget()) {
   install_victim(m_);
 }
 
@@ -13,34 +15,45 @@ void TetSpectreV1::install_victim(os::Machine& m) const {
     m.poke8(kArrayBase + i, static_cast<std::uint8_t>(i));
 }
 
-std::uint64_t TetSpectreV1::probe(std::uint64_t index, int test_value) {
+std::uint64_t TetSpectreV1::probe(std::uint64_t index, int test_value,
+                                  AttackResult& r) {
   std::array<std::uint64_t, isa::kNumRegs> regs{};
   regs[static_cast<std::size_t>(isa::Reg::RDI)] = kLenAddr;
   regs[static_cast<std::size_t>(isa::Reg::RSI)] = index;
   regs[static_cast<std::size_t>(isa::Reg::RDX)] = kArrayBase;
   regs[static_cast<std::size_t>(isa::Reg::RBX)] =
       static_cast<std::uint64_t>(test_value);
-  ++stats_.probes;
+  ++r.probes;
   return run_tote(m_, gadget_, regs);
 }
 
-std::uint8_t TetSpectreV1::leak_byte(std::uint64_t secret_vaddr) {
+std::uint8_t TetSpectreV1::leak_byte_into(std::uint64_t secret_vaddr,
+                                          AttackResult& r) {
   analyzer_.reset();
-  const std::uint64_t start = m_.core().cycle();
   const std::uint64_t oob_index = secret_vaddr - kArrayBase;
 
-  for (int batch = 0; batch < opt_.batches; ++batch) {
+  return decode_adaptive(r, analyzer_, kDefaultBatches, [&] {
     for (int tv = 0; tv <= 255; ++tv) {
       // Train the bounds branch in-bounds (predicted not-taken)…
-      for (int t = 0; t < opt_.trainings_per_probe; ++t)
-        (void)probe(static_cast<std::uint64_t>(t) % kArrayLen, tv);
+      for (int t = 0; t < trainings_per_probe_; ++t)
+        (void)probe(static_cast<std::uint64_t>(t) % kArrayLen, tv, r);
       // …then probe out of bounds: the access runs transiently.
-      analyzer_.add(tv, probe(oob_index, tv));
+      analyzer_.add(tv, probe(oob_index, tv, r));
     }
-    analyzer_.end_batch();
-  }
-  stats_.cycles += m_.core().cycle() - start;
-  return static_cast<std::uint8_t>(analyzer_.decode());
+  });
+}
+
+void TetSpectreV1::execute(std::span<const std::uint8_t> payload,
+                           AttackResult& r) {
+  m_.poke_bytes(kArrayBase + kSecretOffset, payload);
+  r.bytes.reserve(payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    r.bytes.push_back(leak_byte_into(kArrayBase + kSecretOffset + i, r));
+}
+
+std::uint8_t TetSpectreV1::leak_byte(std::uint64_t secret_vaddr) {
+  AttackResult scratch;
+  return leak_byte_into(secret_vaddr, scratch);
 }
 
 std::vector<std::uint8_t> TetSpectreV1::leak(std::uint64_t secret_vaddr,

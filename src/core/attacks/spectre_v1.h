@@ -14,16 +14,18 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "core/attacks/attack.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
 
 namespace whisper::core {
 
-class TetSpectreV1 {
+class TetSpectreV1 final : public Attack {
  public:
-  struct Options {
-    int batches = 3;
+  static constexpr int kDefaultBatches = 3;
+
+  struct Options : AttackOptions {
     int trainings_per_probe = 4;  // in-bounds runs before each OOB probe
   };
 
@@ -32,6 +34,7 @@ class TetSpectreV1 {
 
   /// Leak bytes at `secret_vaddr`, which must lie *past* the bounds-checked
   /// array at `array_vaddr` whose length word lives at `len_vaddr`.
+  /// run(payload) plants the payload at kArrayBase + 0x80.
   [[nodiscard]] std::vector<std::uint8_t> leak(std::uint64_t secret_vaddr,
                                                std::size_t len);
   [[nodiscard]] std::uint8_t leak_byte(std::uint64_t secret_vaddr);
@@ -42,22 +45,25 @@ class TetSpectreV1 {
       os::Machine::kDataBase + 0x10000;
   static constexpr std::uint64_t kLenAddr = os::Machine::kDataBase + 0xff00;
   static constexpr std::uint64_t kArrayLen = 16;
+  /// Where run(payload) plants the secret, past the bounds-checked array.
+  static constexpr std::uint64_t kSecretOffset = 0x80;
 
   void install_victim(os::Machine& m) const;
 
-  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
     return analyzer_;
   }
 
- private:
-  std::uint64_t probe(std::uint64_t index, int test_value);
+ protected:
+  void execute(std::span<const std::uint8_t> payload, AttackResult& r) override;
 
-  os::Machine& m_;
-  Options opt_;
+ private:
+  std::uint64_t probe(std::uint64_t index, int test_value, AttackResult& r);
+  std::uint8_t leak_byte_into(std::uint64_t secret_vaddr, AttackResult& r);
+
+  int trainings_per_probe_;
   GadgetProgram gadget_;
   ArgmaxAnalyzer analyzer_{Polarity::Max};
-  AttackStats stats_;
 };
 
 }  // namespace whisper::core

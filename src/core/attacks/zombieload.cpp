@@ -3,34 +3,40 @@
 namespace whisper::core {
 
 TetZombieload::TetZombieload(os::Machine& m, Options opt)
-    : m_(m), opt_(opt),
+    : Attack(m, "zbl", opt),
       window_(opt.window.value_or(preferred_window(m.config()))),
       gadget_(make_tet_gadget({.window = window_,
                                .source = SecretSource::FaultingLoad})) {}
 
-std::uint8_t TetZombieload::leak_byte(std::uint8_t victim_byte) {
+std::uint8_t TetZombieload::leak_byte_into(std::uint8_t victim_byte,
+                                           AttackResult& r) {
   analyzer_.reset();
-  const std::uint64_t start = m_.core().cycle();
-
   std::array<std::uint64_t, isa::kNumRegs> regs{};
   // Faulting load on an unmapped address: the assisted load samples the LFB.
   regs[static_cast<std::size_t>(isa::Reg::RCX)] = kNullProbeAddress;
 
-  for (int batch = 0; batch < opt_.batches; ++batch) {
+  return decode_adaptive(r, analyzer_, kDefaultBatches, [&] {
     for (int tv = 0; tv <= 255; ++tv) {
       // The victim touches its secret; the value is now in flight.
       m_.victim_touch(victim_byte);
       regs[static_cast<std::size_t>(isa::Reg::RBX)] =
           static_cast<std::uint64_t>(tv);
-      const std::uint64_t tote = run_tote(m_, gadget_, regs);
-      analyzer_.add(tv, tote);
-      ++stats_.probes;
+      analyzer_.add(tv, run_tote(m_, gadget_, regs));
+      ++r.probes;
     }
-    analyzer_.end_batch();
-  }
+  });
+}
 
-  stats_.cycles += m_.core().cycle() - start;
-  return static_cast<std::uint8_t>(analyzer_.decode());
+void TetZombieload::execute(std::span<const std::uint8_t> payload,
+                            AttackResult& r) {
+  r.bytes.reserve(payload.size());
+  for (const std::uint8_t b : payload)
+    r.bytes.push_back(leak_byte_into(b, r));
+}
+
+std::uint8_t TetZombieload::leak_byte(std::uint8_t victim_byte) {
+  AttackResult scratch;
+  return leak_byte_into(victim_byte, scratch);
 }
 
 std::vector<std::uint8_t> TetZombieload::leak(

@@ -5,46 +5,48 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/analyzer.h"
+#include "core/attacks/attack.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
 
 namespace whisper::core {
 
-class TetZombieload {
+class TetZombieload final : public Attack {
  public:
-  struct Options {
-    int batches = 6;
-    std::optional<WindowKind> window;
-  };
+  static constexpr int kDefaultBatches = 6;
 
-  explicit TetZombieload(os::Machine& m) : TetZombieload(m, Options{}) {}
-  TetZombieload(os::Machine& m, Options opt);
+  struct Options : AttackOptions {};
 
-  /// Recover the byte stream a victim repeatedly touches. The harness
-  /// injects each victim byte into the LFB before every probe — standing in
-  /// for the co-resident victim loop of the real attack.
+  explicit TetZombieload(os::Machine& m, Options opt = Options{});
+
+  /// Unified entry: run(payload) treats the payload as the byte stream a
+  /// co-resident victim repeatedly touches, and samples it from the LFB.
+
+  /// Typed conveniences (the harness injects each victim byte into the LFB
+  /// before every probe — standing in for the victim loop of the real
+  /// attack).
   [[nodiscard]] std::vector<std::uint8_t> leak(
       std::span<const std::uint8_t> victim_stream);
   [[nodiscard]] std::uint8_t leak_byte(std::uint8_t victim_byte);
 
-  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
     return analyzer_;
   }
 
+ protected:
+  void execute(std::span<const std::uint8_t> payload, AttackResult& r) override;
+
  private:
-  os::Machine& m_;
-  Options opt_;
+  std::uint8_t leak_byte_into(std::uint8_t victim_byte, AttackResult& r);
+
   WindowKind window_;
   GadgetProgram gadget_;
   ArgmaxAnalyzer analyzer_{Polarity::Min};
-  AttackStats stats_;
 };
 
 }  // namespace whisper::core

@@ -3,49 +3,52 @@
 namespace whisper::core {
 
 TetCovertChannel::TetCovertChannel(os::Machine& m, Options opt)
-    : m_(m), opt_(opt),
+    : Attack(m, "cc", opt),
+      sync_cycles_(opt.sync_cycles),
       window_(opt.window.value_or(preferred_window(m.config()))),
       gadget_(make_tet_gadget({.window = window_,
                                .source = SecretSource::SharedMemory})) {}
 
-std::uint8_t TetCovertChannel::receive_byte() {
+std::uint8_t TetCovertChannel::receive_byte_into(AttackResult& r) {
   analyzer_.reset();
   std::array<std::uint64_t, isa::kNumRegs> regs{};
   regs[static_cast<std::size_t>(isa::Reg::RCX)] = kNullProbeAddress;
   regs[static_cast<std::size_t>(isa::Reg::RDX)] = os::Machine::kSharedBase;
 
-  for (int batch = 0; batch < opt_.batches; ++batch) {
+  return decode_adaptive(r, analyzer_, kDefaultBatches, [&] {
     for (int tv = 0; tv <= 255; ++tv) {
       regs[static_cast<std::size_t>(isa::Reg::RBX)] =
           static_cast<std::uint64_t>(tv);
-      const std::uint64_t tote = run_tote(m_, gadget_, regs);
-      analyzer_.add(tv, tote);
-      ++stats_.probes;
+      analyzer_.add(tv, run_tote(m_, gadget_, regs));
+      ++r.probes;
     }
-    analyzer_.end_batch();
-  }
-  return static_cast<std::uint8_t>(analyzer_.decode());
+  });
 }
 
-stats::ChannelReport TetCovertChannel::transmit(
-    std::span<const std::uint8_t> bytes) {
-  const std::uint64_t start = m_.core().cycle();
-  const int sync =
-      opt_.sync_cycles.value_or(m_.config().channel_sync_cycles);
+void TetCovertChannel::execute(std::span<const std::uint8_t> payload,
+                               AttackResult& r) {
+  const int sync = sync_cycles_.value_or(m_.config().channel_sync_cycles);
 
-  std::vector<std::uint8_t> received;
-  received.reserve(bytes.size());
-  for (std::uint8_t b : bytes) {
+  r.bytes.reserve(payload.size());
+  for (const std::uint8_t b : payload) {
     // Sender side: publish the byte and pay the handshake.
     m_.poke8(os::Machine::kSharedBase, b);
     m_.advance_time(static_cast<std::uint64_t>(sync));
     // Receiver side: sweep and decode.
-    received.push_back(receive_byte());
+    r.bytes.push_back(receive_byte_into(r));
   }
+}
 
-  const std::uint64_t cycles = m_.core().cycle() - start;
-  stats_.cycles += cycles;
-  return stats::evaluate_channel(bytes, received, cycles, m_.config().ghz);
+std::uint8_t TetCovertChannel::receive_byte() {
+  AttackResult scratch;
+  return receive_byte_into(scratch);
+}
+
+stats::ChannelReport TetCovertChannel::transmit(
+    std::span<const std::uint8_t> bytes) {
+  const AttackResult r = run(bytes);
+  return stats::evaluate_channel(bytes, r.bytes, r.cycles,
+                                 m_.config().ghz);
 }
 
 }  // namespace whisper::core

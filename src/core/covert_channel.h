@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "core/attacks/attack.h"
 #include "core/attacks/common.h"
 #include "core/gadgets.h"
 #include "os/machine.h"
@@ -18,39 +19,40 @@
 
 namespace whisper::core {
 
-class TetCovertChannel {
+class TetCovertChannel final : public Attack {
  public:
-  struct Options {
-    int batches = 3;
-    std::optional<WindowKind> window;
+  static constexpr int kDefaultBatches = 3;
+
+  struct Options : AttackOptions {
     /// Cross-process synchronisation cost charged per transmitted byte
     /// (cycles); defaults to the CPU config's channel_sync_cycles.
     std::optional<int> sync_cycles;
   };
 
-  explicit TetCovertChannel(os::Machine& m) : TetCovertChannel(m, Options{}) {}
-  TetCovertChannel(os::Machine& m, Options opt);
+  explicit TetCovertChannel(os::Machine& m, Options opt = Options{});
 
   /// Transmit `bytes` sender→receiver and report throughput + error rate
-  /// exactly as §4.1 does for 1k random bytes.
+  /// exactly as §4.1 does for 1k random bytes. Thin wrapper over run().
   [[nodiscard]] stats::ChannelReport transmit(
       std::span<const std::uint8_t> bytes);
 
   /// Receive a single byte already placed in the shared page.
   [[nodiscard]] std::uint8_t receive_byte();
 
-  [[nodiscard]] const AttackStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ArgmaxAnalyzer& last_analysis() const noexcept {
     return analyzer_;
   }
 
+ protected:
+  void execute(std::span<const std::uint8_t> payload, AttackResult& r) override;
+
  private:
-  os::Machine& m_;
-  Options opt_;
+  std::uint8_t receive_byte_into(AttackResult& r);
+
+  std::optional<int> sync_cycles_;
   WindowKind window_;
   GadgetProgram gadget_;
   ArgmaxAnalyzer analyzer_{Polarity::Max};
-  AttackStats stats_;
 };
 
 }  // namespace whisper::core

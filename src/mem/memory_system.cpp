@@ -164,6 +164,16 @@ int MemorySystem::cache_access(std::uint64_t paddr, AccessResult& out) {
 }
 
 AccessResult MemorySystem::access(const AccessRequest& req) {
+  AccessResult out = access_impl(req);
+  if (noise_) {
+    // Interference rides on top of the resolved access; a negative delta
+    // (DVFS downclock) can shorten it but never below a single cycle.
+    out.latency = std::max(1, out.latency + noise_->on_access(req, out));
+  }
+  return out;
+}
+
+AccessResult MemorySystem::access_impl(const AccessRequest& req) {
   AccessResult out;
   Translation t = translate(req.vaddr, req.type, req.user_mode);
   out.latency = t.latency;

@@ -102,6 +102,20 @@ struct AccessResult {
   int cache_level = 0;        // 1..3 = cache hit level, 4 = DRAM, 0 = n/a
 };
 
+/// Interference hook: extra latency injected into every access by an
+/// attached noise engine (whisper::noise::NoiseEngine). Called after the
+/// access has been resolved normally; the return value (which may be
+/// negative, e.g. a DVFS step that speeds the core clock relative to DRAM)
+/// is added to the access latency, floored at 1 cycle. Implementations may
+/// also mutate cache/LFB/TLB state through the MemorySystem they are
+/// attached to (prefetcher pollution, sibling fill traffic) — but must stay
+/// deterministic functions of their own seed and the access stream.
+class MemInterference {
+ public:
+  virtual ~MemInterference() = default;
+  virtual int on_access(const AccessRequest& req, const AccessResult& res) = 0;
+};
+
 /// Sink for memory-side PMU events; implemented by uarch::Pmu.
 class MemEventSink {
  public:
@@ -124,6 +138,11 @@ class MemorySystem {
 
   /// Optional PMU sink (not owned); may be null.
   void set_event_sink(MemEventSink* sink) noexcept { sink_ = sink; }
+
+  /// Optional interference source (not owned); may be null. With none
+  /// attached the hook is a branch on a null pointer — attaching and never
+  /// injecting must not change any latency (tests/test_noise.cpp).
+  void set_interference(MemInterference* noise) noexcept { noise_ = noise; }
 
   /// Perform a data-side access: translate, classify faults, compute
   /// latency, fetch/forward data, and update TLB/cache/LFB state.
@@ -184,6 +203,7 @@ class MemorySystem {
     WalkResult walk;
   };
 
+  AccessResult access_impl(const AccessRequest& req);
   Translation translate(std::uint64_t vaddr, AccessType type, bool user_mode);
   int cache_access(std::uint64_t paddr, AccessResult& out);
   int jitter();
@@ -193,6 +213,7 @@ class MemorySystem {
   MemConfig cfg_;
   const PageTable* pt_ = nullptr;
   MemEventSink* sink_ = nullptr;
+  MemInterference* noise_ = nullptr;
 
   PhysicalMemory phys_;
   Tlb dtlb_;

@@ -46,6 +46,15 @@ Machine::Machine(const MachineOptions& opts)
 
   mem_->set_page_table(&user_view_);
   core_ = std::make_unique<uarch::Core>(cfg_, *mem_);
+
+  // Interference is opt-in: with an all-zero profile no engine exists and
+  // both hooks stay null — tests/test_noise.cpp pins the observer effect.
+  if (opts.noise.enabled()) {
+    noise_ = std::make_unique<noise::NoiseEngine>(opts.noise, cfg_.seed);
+    noise_->attach(mem_.get());
+    mem_->set_interference(noise_.get());
+    core_->set_interference(noise_.get());
+  }
 }
 
 uarch::RunResult Machine::run_user(

@@ -19,6 +19,7 @@
 #include "isa/builder.h"
 #include "isa/program.h"
 #include "mem/memory_system.h"
+#include "noise/noise.h"
 #include "os/kernel_layout.h"
 #include "uarch/config.h"
 #include "uarch/core.h"
@@ -35,6 +36,11 @@ struct MachineOptions {
   /// Full CPU-config override for ablation studies; replaces the preset
   /// derived from `model` when set.
   std::optional<uarch::CpuConfig> config;
+  /// Interference profile (noise::NoiseProfile presets or custom). The
+  /// engine is only instantiated when some source has intensity > 0, so
+  /// the default "off" profile leaves the machine cycle-identical to a
+  /// build without the noise layer at all.
+  noise::NoiseProfile noise{};
 };
 
 class Machine {
@@ -61,6 +67,8 @@ class Machine {
 
   [[nodiscard]] uarch::Core& core() noexcept { return *core_; }
   [[nodiscard]] mem::MemorySystem& memsys() noexcept { return *mem_; }
+  /// The attached interference engine, or nullptr when the profile is off.
+  [[nodiscard]] noise::NoiseEngine* noise() noexcept { return noise_.get(); }
   [[nodiscard]] KernelLayout& kernel() noexcept { return *kernel_; }
   [[nodiscard]] const uarch::CpuConfig& config() const noexcept {
     return cfg_;
@@ -144,6 +152,7 @@ class Machine {
   mem::PageTable kernel_view_;
   mem::PageTable user_view_;
   std::unique_ptr<uarch::Core> core_;
+  std::unique_ptr<noise::NoiseEngine> noise_;
   std::unique_ptr<isa::Program> evict_prog_;
 };
 

@@ -65,7 +65,7 @@ std::string to_json(const RunResult& r) {
   w.key("model");
   w.value(uarch::make_config(r.spec.model).name);
   w.key("attack");
-  w.value(to_string(r.spec.attack));
+  w.value(r.spec.attack);
   w.key("trials");
   w.value(r.spec.trials);
   w.key("base_seed");
@@ -86,6 +86,30 @@ std::string to_json(const RunResult& r) {
   w.value(static_cast<std::uint64_t>(r.spec.payload_bytes));
   w.key("payload_seed");
   w.value(r.spec.payload_seed);
+  w.key("noise");
+  w.begin_object();
+  w.key("profile");
+  w.value(r.spec.noise.name);
+  w.key("seed");
+  w.value(r.spec.noise.seed);
+  w.key("sources");
+  w.begin_array();
+  for (const noise::NoiseSource& s : r.spec.noise.sources) {
+    w.begin_object();
+    w.key("kind");
+    w.value(noise::to_string(s.kind));
+    w.key("intensity");
+    w.value(s.intensity);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.key("adaptive");
+  w.value(r.spec.adaptive);
+  w.key("confidence_threshold");
+  w.value(r.spec.confidence_threshold);
+  w.key("batch_budget");
+  w.value(r.spec.batch_budget);
   w.end_object();
 
   w.key("jobs");
@@ -100,8 +124,12 @@ std::string to_json(const RunResult& r) {
   w.value(static_cast<std::uint64_t>(r.total_bytes));
   w.key("total_byte_errors");
   w.value(static_cast<std::uint64_t>(r.total_byte_errors));
+  w.key("total_gave_up");
+  w.value(static_cast<std::uint64_t>(r.total_gave_up));
   w.key("sim_seconds");
   write_summary(w, r.seconds);
+  w.key("confidence");
+  write_summary(w, r.confidence);
   w.key("tote");
   write_histogram(w, r.tote);
   w.key("topdown");
@@ -127,6 +155,10 @@ std::string to_json(const RunResult& r) {
     w.value(static_cast<std::uint64_t>(t.byte_errors));
     w.key("found_slot");
     w.value(t.found_slot);
+    w.key("confidence");
+    w.value(t.confidence);
+    w.key("gave_up");
+    w.value(static_cast<std::uint64_t>(t.gave_up));
     w.key("tote");
     write_histogram(w, t.tote);
     w.key("topdown");

@@ -1,15 +1,11 @@
 #include "runner/runner.h"
 
 #include <span>
+#include <stdexcept>
+#include <utility>
 
-#include "core/attacks/kaslr.h"
-#include "core/attacks/meltdown.h"
-#include "core/attacks/spectre_rsb.h"
-#include "core/attacks/spectre_v1.h"
-#include "core/attacks/zombieload.h"
-#include "core/covert_channel.h"
+#include "core/attacks/registry.h"
 #include "os/machine.h"
-#include "stats/error_rate.h"
 #include "stats/rng.h"
 
 namespace whisper::runner {
@@ -26,47 +22,25 @@ std::vector<std::uint8_t> payload_bytes(const RunSpec& spec) {
   return out;
 }
 
-void fill_channel_result(TrialResult& t, const os::Machine& /*m*/,
-                         std::span<const std::uint8_t> sent,
-                         std::span<const std::uint8_t> got) {
-  t.bytes = sent.size();
-  for (std::size_t i = 0; i < sent.size(); ++i)
-    if (i >= got.size() || got[i] != sent[i]) ++t.byte_errors;
-  t.success = t.byte_errors == 0;
+const core::AttackInfo& attack_info_or_throw(const std::string& name) {
+  const core::AttackInfo* info = core::find_attack(name);
+  if (info == nullptr)
+    throw std::invalid_argument("runner: unknown attack '" + name + "'");
+  return *info;
 }
 
 }  // namespace
 
-const char* to_string(Attack a) {
-  switch (a) {
-    case Attack::Cc: return "cc";
-    case Attack::Md: return "md";
-    case Attack::Zbl: return "zbl";
-    case Attack::Rsb: return "rsb";
-    case Attack::V1: return "v1";
-    case Attack::Kaslr: return "kaslr";
-  }
-  return "?";
-}
-
-std::optional<Attack> attack_from_string(std::string_view s) {
-  if (s == "cc") return Attack::Cc;
-  if (s == "md") return Attack::Md;
-  if (s == "zbl") return Attack::Zbl;
-  if (s == "rsb") return Attack::Rsb;
-  if (s == "v1") return Attack::V1;
-  if (s == "kaslr") return Attack::Kaslr;
-  return std::nullopt;
-}
-
 std::string RunSpec::label() const {
   std::string out = "tet-";
-  out += to_string(attack);
+  out += attack;
   out += " @ ";
   out += uarch::make_config(model).name;
   if (kernel.kpti) out += " +KPTI";
   if (kernel.flare) out += " +FLARE";
   if (docker) out += " (docker)";
+  if (noise.enabled()) out += " +noise:" + noise.name;
+  if (adaptive) out += " (adaptive)";
   out += " x" + std::to_string(trials);
   return out;
 }
@@ -77,6 +51,8 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t index) {
 }
 
 TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
+  const core::AttackInfo& info = attack_info_or_throw(spec.attack);
+
   TrialResult t;
   t.seed = seed;
 
@@ -85,6 +61,7 @@ TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
   mo.kernel = spec.kernel;
   mo.docker = spec.docker;
   mo.seed = seed;
+  mo.noise = spec.noise;
   os::Machine m(mo);
 
   // Observability: PMU deltas (and optionally the full event log) over the
@@ -93,98 +70,31 @@ TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
   if (spec.collect_trace) m.core().set_trace(&t.events);
   const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
 
-  switch (spec.attack) {
-    case Attack::Cc: {
-      core::TetCovertChannel::Options opt;
-      if (spec.batches > 0) opt.batches = spec.batches;
-      core::TetCovertChannel cc(m, opt);
-      const auto sent = payload_bytes(spec);
-      const stats::ChannelReport rep = cc.transmit(sent);
-      t.bytes = rep.bytes;
-      t.byte_errors = rep.byte_errors;
-      t.success = rep.byte_errors == 0;
-      t.cycles = rep.sim_cycles;
-      t.seconds = rep.seconds;
-      t.probes = cc.stats().probes;
-      t.tote = cc.last_analysis().tote_histogram();
-      break;
-    }
-    case Attack::Md: {
-      const auto secret = payload_bytes(spec);
-      const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-      core::TetMeltdown::Options opt;
-      if (spec.batches > 0) opt.batches = spec.batches;
-      core::TetMeltdown atk(m, opt);
-      const std::uint64_t start = m.core().cycle();
-      const auto got = atk.leak(kaddr, secret.size());
-      t.cycles = m.core().cycle() - start;
-      t.seconds = m.seconds(t.cycles);
-      t.probes = atk.stats().probes;
-      t.tote = atk.last_analysis().tote_histogram();
-      fill_channel_result(t, m, secret, got);
-      break;
-    }
-    case Attack::Zbl: {
-      const auto stream = payload_bytes(spec);
-      core::TetZombieload::Options opt;
-      if (spec.batches > 0) opt.batches = spec.batches;
-      core::TetZombieload atk(m, opt);
-      const std::uint64_t start = m.core().cycle();
-      const auto got = atk.leak(stream);
-      t.cycles = m.core().cycle() - start;
-      t.seconds = m.seconds(t.cycles);
-      t.probes = atk.stats().probes;
-      t.tote = atk.last_analysis().tote_histogram();
-      fill_channel_result(t, m, stream, got);
-      break;
-    }
-    case Attack::Rsb: {
-      const auto secret = payload_bytes(spec);
-      m.poke_bytes(os::Machine::kDataBase + 0x1000, secret);
-      core::TetSpectreRsb::Options opt;
-      if (spec.batches > 0) opt.batches = spec.batches;
-      core::TetSpectreRsb atk(m, opt);
-      const std::uint64_t start = m.core().cycle();
-      const auto got =
-          atk.leak(os::Machine::kDataBase + 0x1000, secret.size());
-      t.cycles = m.core().cycle() - start;
-      t.seconds = m.seconds(t.cycles);
-      t.probes = atk.stats().probes;
-      t.tote = atk.last_analysis().tote_histogram();
-      fill_channel_result(t, m, secret, got);
-      break;
-    }
-    case Attack::V1: {
-      const auto secret = payload_bytes(spec);
-      core::TetSpectreV1::Options opt;
-      if (spec.batches > 0) opt.batches = spec.batches;
-      core::TetSpectreV1 atk(m, opt);
-      const std::uint64_t addr = core::TetSpectreV1::kArrayBase + 0x80;
-      m.poke_bytes(addr, secret);
-      const std::uint64_t start = m.core().cycle();
-      const auto got = atk.leak(addr, secret.size());
-      t.cycles = m.core().cycle() - start;
-      t.seconds = m.seconds(t.cycles);
-      t.probes = atk.stats().probes;
-      t.tote = atk.last_analysis().tote_histogram();
-      fill_channel_result(t, m, secret, got);
-      break;
-    }
-    case Attack::Kaslr: {
-      core::TetKaslr::Options kopt;
-      kopt.rounds = spec.rounds;
-      core::TetKaslr atk(m, kopt);
-      const core::TetKaslr::Result r = atk.run();
-      t.success = r.success;
-      t.cycles = r.cycles;
-      t.seconds = r.seconds;
-      t.probes = r.probes;
-      t.found_slot = r.found_slot;
-      for (const std::uint64_t score : r.slot_scores)
-        t.tote.add(static_cast<std::int64_t>(score));
-      break;
-    }
-  }
+  core::AttackOptions opt;
+  if (spec.batches > 0)
+    opt.batches = spec.batches;
+  else if (!info.channel && spec.rounds > 0)
+    opt.batches = spec.rounds;  // KASLR spells its batch knob "rounds"
+  opt.adaptive = spec.adaptive;
+  opt.confidence_threshold = spec.confidence_threshold;
+  opt.batch_budget = spec.batch_budget;
+
+  const std::unique_ptr<core::Attack> atk = info.make(m, opt);
+  std::vector<std::uint8_t> payload;
+  if (info.channel) payload = payload_bytes(spec);
+  const core::AttackResult r = atk->run(payload);
+
+  t.success = r.success;
+  t.cycles = r.cycles;
+  t.seconds = r.seconds;
+  t.probes = r.probes;
+  t.bytes = payload.size();
+  t.byte_errors = r.byte_errors;
+  t.found_slot = r.found_slot;
+  t.confidence = r.confidence;
+  t.gave_up = r.gave_up;
+  t.tote = r.tote;
+
   t.pmu = uarch::pmu_delta(pmu_before, m.core().pmu().snapshot());
   t.topdown = obs::attribute_cycles(t.pmu);
   if (spec.collect_trace) m.core().set_trace(nullptr);
@@ -211,12 +121,15 @@ RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
   out.wall_seconds = wall_seconds;
   out.trials = std::move(trials);
   std::vector<double> secs;
+  std::vector<double> confs;
   secs.reserve(out.trials.size());
+  confs.reserve(out.trials.size());
   for (const TrialResult& t : out.trials) {
     out.successes += t.success ? 1 : 0;
     out.total_probes += t.probes;
     out.total_bytes += t.bytes;
     out.total_byte_errors += t.byte_errors;
+    out.total_gave_up += t.gave_up;
     out.cycles.add(static_cast<double>(t.cycles));
     out.tote.merge(t.tote);
     for (std::size_t e = 0; e < uarch::kNumPmuEvents; ++e)
@@ -224,8 +137,10 @@ RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
     out.topdown.merge(t.topdown);
     out.events.append(t.events);
     secs.push_back(t.seconds);
+    confs.push_back(t.confidence);
   }
   out.seconds = stats::summarize(std::span<const double>(secs));
+  out.confidence = stats::summarize(std::span<const double>(confs));
   return out;
 }
 
@@ -239,6 +154,7 @@ obs::MetricsRegistry to_metrics(const RunResult& r,
   reg.set_counter(prefix + "run.probes", r.total_probes);
   reg.set_counter(prefix + "run.bytes", r.total_bytes);
   reg.set_counter(prefix + "run.byte_errors", r.total_byte_errors);
+  reg.set_counter(prefix + "run.gave_up", r.total_gave_up);
   reg.import_pmu(r.pmu, prefix + "pmu.");
   reg.set_counter(prefix + "topdown.total_cycles", r.topdown.total_cycles);
   reg.set_counter(prefix + "topdown.retiring", r.topdown.retiring);
@@ -248,11 +164,13 @@ obs::MetricsRegistry to_metrics(const RunResult& r,
                   r.topdown.frontend_bound);
   reg.set_counter(prefix + "topdown.backend_bound", r.topdown.backend_bound);
   reg.import_summary(prefix + "sim_seconds", r.seconds);
+  reg.import_summary(prefix + "confidence", r.confidence);
   reg.add_histogram(prefix + "tote", r.tote);
   return reg;
 }
 
 RunResult run(const RunSpec& spec, Executor& ex, bool progress) {
+  (void)attack_info_or_throw(spec.attack);  // fail before the fan-out
   const std::size_t n =
       spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
   Progress meter(spec.label(), n, progress);
@@ -272,6 +190,8 @@ RunResult run(const RunSpec& spec, int jobs, bool progress) {
 
 std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
                                 Executor& ex, bool progress) {
+  for (const RunSpec& spec : specs)
+    (void)attack_info_or_throw(spec.attack);  // fail before the fan-out
   // Flatten every (spec, trial) pair into one task list so a matrix of
   // small cells still fills the pool.
   struct Task {

@@ -9,22 +9,24 @@
 // index order.
 //
 //   runner::RunSpec spec{.model = uarch::CpuModel::CometLakeI9_10980XE,
-//                        .attack = runner::Attack::Kaslr,
+//                        .attack = "kaslr",
 //                        .trials = 32,
 //                        .kernel = {.kpti = true}};
 //   runner::Executor ex(/*jobs=*/8);
 //   const runner::RunResult r = runner::run(spec, ex);
 //
-// docs/REPRODUCING.md maps every paper figure/table to the spec that
-// reproduces it; write_json_file() (json_writer.h) persists trajectories.
+// Attacks are named, not enumerated: `attack` is a key into
+// core::attack_registry(), so a new attack registered there is immediately
+// runnable here. docs/REPRODUCING.md maps every paper figure/table to the
+// spec that reproduces it; write_json_file() (json_writer.h) persists
+// trajectories.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
 
+#include "noise/noise.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/topdown.h"
@@ -37,29 +39,33 @@
 
 namespace whisper::runner {
 
-/// The paper's attack set (Table 2 columns) plus the Spectre-V1 extension.
-enum class Attack : std::uint8_t { Cc, Md, Zbl, Rsb, V1, Kaslr };
-
-[[nodiscard]] const char* to_string(Attack a);
-/// Parse "cc" / "md" / "zbl" / "rsb" / "v1" / "kaslr" (as whisper_cli spells
-/// them); returns nullopt for anything else.
-[[nodiscard]] std::optional<Attack> attack_from_string(std::string_view s);
-
 /// One experiment cell. Everything a trial depends on lives here; nothing is
 /// read from globals, which is what makes the fan-out safe.
 struct RunSpec {
   uarch::CpuModel model = uarch::CpuModel::KabyLakeI7_7700;
-  Attack attack = Attack::Kaslr;
+  /// core::attack_registry() key ("cc", "md", "zbl", "rsb", "v1", "kaslr").
+  std::string attack = "kaslr";
   int trials = 1;
   std::uint64_t base_seed = 1;
   os::KernelOptions kernel{};
   bool docker = false;
 
+  /// Interference profile each trial's Machine runs under (noise.off() by
+  /// default — the engine is then never even attached, see os::Machine).
+  noise::NoiseProfile noise{};
+
   // Attack knobs. 0 / default means "use the attack's own default".
-  int rounds = 3;     // TET-KASLR probes per slot
+  int rounds = 3;     // TET-KASLR sweep rounds (alias of `batches` for kaslr)
   int batches = 0;    // argmax batches per byte (channel attacks)
   std::size_t payload_bytes = 8;     // bytes moved per channel trial
   std::uint64_t payload_seed = 0x5eedULL;  // RNG stream for the payload
+
+  // Adaptive decoding (core::AttackOptions passthrough): escalate batch
+  // counts until the vote margin clears `confidence_threshold` or the
+  // budget runs out.
+  bool adaptive = false;
+  double confidence_threshold = 0.5;
+  int batch_budget = 0;  // 0 = 8× the initial batch count
 
   /// Attach an obs::EventLog to each trial's core and keep the records in
   /// the TrialResult (and, merged in index order, in RunResult::events).
@@ -84,6 +90,10 @@ struct TrialResult {
   std::size_t bytes = 0;
   std::size_t byte_errors = 0;
   int found_slot = -1;
+  /// Weakest decode confidence over the trial (vote margin in [0,1]), and
+  /// how many decodes exhausted the adaptive budget below threshold.
+  double confidence = 1.0;
+  std::size_t gave_up = 0;
   stats::Histogram tote;
 
   /// PMU event deltas over the attack phase of the trial (machine setup
@@ -107,7 +117,9 @@ struct RunResult {
   std::size_t total_probes = 0;
   std::size_t total_bytes = 0;
   std::size_t total_byte_errors = 0;
+  std::size_t total_gave_up = 0;
   stats::Summary seconds;     // over per-trial simulated seconds
+  stats::Summary confidence;  // over per-trial decode confidence
   stats::OnlineStats cycles;  // over per-trial simulated cycles
   stats::Histogram tote;      // all trials' ToTE observations merged
   uarch::PmuSnapshot pmu{};   // per-trial PMU deltas, summed
@@ -120,12 +132,13 @@ struct RunResult {
 };
 
 /// Everything a finished run measured, as one named-metric registry:
-/// "run.*" counters (trials, successes, probes, bytes, byte_errors),
-/// "pmu.*" counters (merged event deltas), "topdown.*" cycle buckets,
-/// "sim_seconds.*" gauges and the merged "tote" histogram. Feed this to
-/// MetricsRegistry::write_json_file()/write_csv_file() for --metrics-out.
-/// `prefix` namespaces every name ("cc." etc.), so several runs can merge
-/// into one registry without colliding.
+/// "run.*" counters (trials, successes, probes, bytes, byte_errors,
+/// gave_up), "pmu.*" counters (merged event deltas), "topdown.*" cycle
+/// buckets, "sim_seconds.*" / "confidence.*" gauges and the merged "tote"
+/// histogram. Feed this to MetricsRegistry::write_json_file()/
+/// write_csv_file() for --metrics-out. `prefix` namespaces every name
+/// ("cc." etc.), so several runs can merge into one registry without
+/// colliding.
 [[nodiscard]] obs::MetricsRegistry to_metrics(const RunResult& r,
                                               const std::string& prefix = "");
 
@@ -136,11 +149,13 @@ struct RunResult {
                                        std::uint64_t index);
 
 /// Run a single trial of `spec` on a fresh Machine seeded with `seed`.
-/// Pure: no shared state, safe to call from any thread.
+/// Pure: no shared state, safe to call from any thread. Throws
+/// std::invalid_argument when spec.attack is not a registered name.
 [[nodiscard]] TrialResult run_trial(const RunSpec& spec, std::uint64_t seed);
 
 /// Fan spec.trials out over the executor and merge. With `progress`,
-/// per-trial completion lines go to stderr.
+/// per-trial completion lines go to stderr. Unknown attack names throw
+/// std::invalid_argument before any trial is scheduled.
 [[nodiscard]] RunResult run(const RunSpec& spec, Executor& ex,
                             bool progress = false);
 /// Convenience overload: a private Executor with `jobs` workers.

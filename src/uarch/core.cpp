@@ -160,6 +160,11 @@ RunResult Core::run_internal(std::uint64_t cycle_limit) {
     issued_uops_this_cycle_ = 0;
     alloc_uops_this_cycle_ = 0;
 
+    if (noise_) {
+      const std::uint64_t handler = noise_->on_cycle(cycle_);
+      if (handler != 0) inject_interrupt(handler);
+    }
+
     step_complete();
     for (int t = 0; t < nthreads_; ++t)
       if (ctx_[t].active && !ctx_[t].halted) step_retire(t);
@@ -1093,6 +1098,41 @@ void Core::machine_clear(int t, RobEntry& faulting) {
                            static_cast<std::uint64_t>(target) * 16);
 
   redirect_fetch(ctx, target);
+}
+
+void Core::inject_interrupt(std::uint64_t handler_cycles) {
+  for (int t = 0; t < nthreads_; ++t) {
+    ThreadCtx& ctx = ctx_[t];
+    if (!ctx.active || ctx.halted) continue;
+
+    // Resume at the next unretired instruction. Safe because architectural
+    // state only changes at retirement: re-fetching the squashed suffix
+    // replays it from scratch. Inside a TSX region an interrupt aborts the
+    // transaction, so control resumes at the abort target instead.
+    std::int32_t resume = ctx.rob.empty() ? ctx.fetch_pc : ctx.rob.front().pc;
+    if (ctx.in_tsx) {
+      resume = ctx.tsx_abort_target;
+      ctx.in_tsx = false;
+      trace_raw(t, TraceEvent::TsxAbort, resume, isa::Opcode::Nop, 0);
+    }
+    ctx.window_mispredict = false;
+
+    pmu_.inc(PmuEvent::MACHINE_CLEARS_COUNT);
+    trace_raw(t, TraceEvent::MachineClear, resume, isa::Opcode::Nop, 0);
+    squash_all(ctx);
+    ctx.idq.clear();
+
+    const std::uint64_t stall =
+        cycle_ + handler_cycles +
+        static_cast<std::uint64_t>(cfg_.machine_clear_cycles);
+    ctx.frontend_ready_at = std::max(ctx.frontend_ready_at, stall);
+    ctx.alloc_stall_until = std::max(ctx.alloc_stall_until, stall);
+    redirect_fetch(ctx, resume);
+  }
+  if (nthreads_ > 1)
+    shared_frontend_busy_until_ =
+        std::max(shared_frontend_busy_until_,
+                 cycle_ + static_cast<std::uint64_t>(cfg_.machine_clear_cycles));
 }
 
 // ---------------------------------------------------------------------------

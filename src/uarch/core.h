@@ -42,6 +42,20 @@
 
 namespace whisper::uarch {
 
+/// Interference hook driven once per simulated cycle while the core is
+/// running (whisper::noise::NoiseEngine implements it). The return value is
+/// an interrupt-handler cost in cycles: non-zero means "an asynchronous
+/// interrupt arrives now" — the core squashes all in-flight work on every
+/// active thread, resteers to the next unretired instruction, and stalls
+/// the front end for the returned cost on top of the machine-clear penalty.
+/// Implementations use the hook's cycle argument for their own scheduling
+/// (DVFS steps, TLB shootdowns) and must be deterministic in (seed, cycle).
+class CoreInterference {
+ public:
+  virtual ~CoreInterference() = default;
+  [[nodiscard]] virtual std::uint64_t on_cycle(std::uint64_t cycle) = 0;
+};
+
 /// Initial architectural state for one hardware thread.
 struct InitState {
   std::array<std::uint64_t, isa::kNumRegs> regs{};
@@ -104,6 +118,11 @@ class Core {
   /// unbounded obs::EventLog feeding the Chrome-trace exporter. With no
   /// sink attached every hook is a branch on a null pointer.
   void set_trace(TraceSink* trace) noexcept { trace_ = trace; }
+
+  /// Attach (or detach with nullptr) an interference source. Same contract
+  /// as set_trace: with none attached the per-cycle hook is a branch on a
+  /// null pointer and the run is cycle-identical to an unhooked core.
+  void set_interference(CoreInterference* noise) noexcept { noise_ = noise; }
 
   /// Advance the free-running cycle counter without executing anything —
   /// used by the OS layer to charge attacker-side overheads (TLB eviction
@@ -219,6 +238,10 @@ class Core {
                       std::int32_t actual_target);
   void handle_transient_shortcuts(ThreadCtx& ctx, const RobEntry& branch);
   void machine_clear(int t, RobEntry& faulting);
+  /// Asynchronous (timer) interrupt: drain + resteer every active thread
+  /// through the machine-clear recovery path, charging `handler_cycles` of
+  /// handler time on top of the clear penalty.
+  void inject_interrupt(std::uint64_t handler_cycles);
   void squash_younger(ThreadCtx& ctx, std::uint64_t seq);
   void squash_all(ThreadCtx& ctx);
   void undo_store(const RobEntry& e);
@@ -247,6 +270,7 @@ class Core {
   BranchPredictor bpu_;
   stats::Xoshiro256 rng_;
   TraceSink* trace_ = nullptr;
+  CoreInterference* noise_ = nullptr;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t avx_warm_until_ = 0;  // AVX power-gating state

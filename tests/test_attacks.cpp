@@ -35,7 +35,7 @@ TEST(TetMeltdownAttack, FailsOnFixedCpu) {
   const auto secret = bytes_of("WHISPER");
   const std::uint64_t kaddr = m.plant_kernel_secret(secret);
 
-  core::TetMeltdown atk(m, {.batches = 3});
+  core::TetMeltdown atk(m, {{.batches = 3}});
   const auto leaked = atk.leak(kaddr, secret.size());
   EXPECT_NE(leaked, secret);  // fixed silicon forwards nothing
 }
@@ -46,7 +46,7 @@ TEST(TetMeltdownAttack, KptiMitigates) {
   const auto secret = bytes_of("KPTI");
   const std::uint64_t kaddr = m.plant_kernel_secret(secret);
 
-  core::TetMeltdown atk(m, {.batches = 3});
+  core::TetMeltdown atk(m, {{.batches = 3}});
   const auto leaked = atk.leak(kaddr, secret.size());
   EXPECT_NE(leaked, secret);  // secret is simply unmapped now
 }
@@ -61,7 +61,7 @@ TEST(TetZombieloadAttack, LeaksVictimStreamOnVulnerableCpu) {
 TEST(TetZombieloadAttack, FailsOnFixedCpu) {
   os::Machine m({.model = uarch::CpuModel::RaptorLakeI9_13900K});
   const auto stream = bytes_of("MDS!");
-  core::TetZombieload atk(m, {.batches = 3});
+  core::TetZombieload atk(m, {{.batches = 3}});
   EXPECT_NE(atk.leak(stream), stream);
 }
 

@@ -174,7 +174,7 @@ TEST(PmuDetectorTest, FlagsFlushReloadButNotTet) {
   // Window 2: TET-MD on the same machine.
   {
     const auto before = m.core().pmu().snapshot();
-    core::TetMeltdown atk(m, {.batches = 3});
+    core::TetMeltdown atk(m, {{.batches = 3}});
     (void)atk.leak(kaddr, secret.size());
     const auto delta = uarch::pmu_delta(before, m.core().pmu().snapshot());
     const auto rep = detector.analyze(delta);

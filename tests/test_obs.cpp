@@ -283,7 +283,7 @@ TEST(ObserverEffect, MeltdownLeakByteIdenticalWithAndWithoutSink) {
 runner::RunSpec small_md_spec() {
   runner::RunSpec spec;
   spec.model = uarch::CpuModel::KabyLakeI7_7700;
-  spec.attack = runner::Attack::Md;
+  spec.attack = "md";
   spec.trials = 4;
   spec.payload_bytes = 2;
   spec.batches = 2;

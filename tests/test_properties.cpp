@@ -35,7 +35,7 @@ TEST_P(ModelMatrixTest, MeltdownMatchesTable2) {
   os::Machine m({.model = exp.model});
   const std::vector<std::uint8_t> secret = {'K', 'e', 'y'};
   const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-  core::TetMeltdown atk(m, {.batches = 4});
+  core::TetMeltdown atk(m, {{.batches = 4}});
   const bool ok = atk.leak(kaddr, secret.size()) == secret;
   EXPECT_EQ(ok, exp.meltdown) << uarch::to_string(exp.model);
 }
@@ -44,7 +44,7 @@ TEST_P(ModelMatrixTest, ZombieloadMatchesTable2) {
   const auto& exp = GetParam();
   os::Machine m({.model = exp.model});
   const std::vector<std::uint8_t> stream = {0x5a, 0xa5};
-  core::TetZombieload atk(m, {.batches = 4});
+  core::TetZombieload atk(m, {{.batches = 4}});
   const bool ok = atk.leak(stream) == stream;
   EXPECT_EQ(ok, exp.zbl) << uarch::to_string(exp.model);
 }
@@ -60,7 +60,7 @@ TEST_P(ModelMatrixTest, CovertChannelWorksEverywhere) {
   // Table 2: TET-CC is ✓ on every machine.
   const auto& exp = GetParam();
   os::Machine m({.model = exp.model});
-  core::TetCovertChannel cc(m, {.batches = 3});
+  core::TetCovertChannel cc(m, {{.batches = 3}});
   const std::vector<std::uint8_t> payload = {'c', 'c', '!'};
   const auto report = cc.transmit(payload);
   EXPECT_EQ(report.byte_errors, 0u) << uarch::to_string(exp.model);
@@ -178,7 +178,7 @@ TEST_P(ByteValueTest, MeltdownLeaksExactByte) {
   os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700});
   const std::uint8_t secret[] = {static_cast<std::uint8_t>(GetParam())};
   const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-  core::TetMeltdown atk(m, {.batches = 4});
+  core::TetMeltdown atk(m, {{.batches = 4}});
   EXPECT_EQ(atk.leak_byte(kaddr), secret[0]);
 }
 
@@ -197,13 +197,13 @@ TEST_P(WindowKindTest, MeltdownLeaksUnderEitherSuppression) {
   os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
   const std::vector<std::uint8_t> secret = {'w', 'k'};
   const std::uint64_t kaddr = m.plant_kernel_secret(secret);
-  core::TetMeltdown atk(m, {.batches = 4, .window = GetParam()});
+  core::TetMeltdown atk(m, {{.batches = 4, .window = GetParam()}});
   EXPECT_EQ(atk.leak(kaddr, secret.size()), secret);
 }
 
 TEST_P(WindowKindTest, CovertChannelWorksUnderEitherSuppression) {
   os::Machine m({.model = uarch::CpuModel::SkylakeI7_6700});
-  core::TetCovertChannel cc(m, {.batches = 3, .window = GetParam()});
+  core::TetCovertChannel cc(m, {{.batches = 3, .window = GetParam()}});
   const std::vector<std::uint8_t> payload = {0x12, 0xef};
   EXPECT_EQ(cc.transmit(payload).byte_errors, 0u);
 }
