@@ -1,0 +1,231 @@
+// Perf baseline: the snapshot/reset trial fast path vs fresh construction.
+//
+// For each requested registry attack this harness runs the same RunSpec
+// twice at --jobs 1 — once with reuse_machine = false (every trial builds a
+// Machine from scratch) and once with the default pooled-reset path — and
+// reports host trials/sec, simulated cycles/sec and the resulting speedup.
+// A third measurement repeats the reset path at the requested --jobs to
+// show how the fast path scales across workers. Results (bytes decoded,
+// probes, ToTE) are bit-identical between the two paths —
+// tests/test_machine_reset.cpp pins that — so this table is purely about
+// host throughput; the --json trajectory (BENCH_perf.json under ctest) is
+// the regression record for it.
+//
+// Extra flags on top of the shared harness set (see bench_util.h):
+//   --attacks LIST     comma-separated registry names (default: all)
+//   --trials N         trials per measurement (default 16)
+//   --bytes N          payload bytes per channel trial (default 2)
+//   --batches N        argmax batches per byte (default 1; kaslr: rounds)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/attacks/registry.h"
+#include "runner/json_writer.h"
+#include "runner/runner.h"
+#include "stats/json.h"
+
+using namespace whisper;
+
+namespace {
+
+struct PerfArgs {
+  std::vector<std::string> attacks;  // empty = the whole registry
+  int trials = 16;
+  std::size_t bytes = 2;
+  int batches = 1;
+};
+
+PerfArgs parse_perf_args(int argc, char** argv) {
+  PerfArgs out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--attacks" && i + 1 < argc) {
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > pos) out.attacks.push_back(list.substr(pos, end - pos));
+        pos = end + 1;
+      }
+    } else if (a == "--trials" && i + 1 < argc) {
+      out.trials = std::atoi(argv[++i]);
+    } else if (a == "--bytes" && i + 1 < argc) {
+      out.bytes = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (a == "--batches" && i + 1 < argc) {
+      out.batches = std::atoi(argv[++i]);
+    }
+  }
+  return out;
+}
+
+/// One timed fan-out, reduced to rates. Wall time comes from the
+/// RunResult's own fan-out clock, so the numbers cover exactly the trial
+/// loop (construction/reset included, merge excluded).
+struct Measurement {
+  double wall_seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double sim_cycles_per_sec = 0.0;
+};
+
+Measurement measure(runner::RunSpec spec, bool reuse, int jobs,
+                    bool progress) {
+  spec.reuse_machine = reuse;
+  runner::Executor ex(jobs);
+  const runner::RunResult r = runner::run(spec, ex, progress);
+  Measurement m;
+  m.wall_seconds = r.wall_seconds;
+  std::uint64_t sim_cycles = 0;
+  for (const runner::TrialResult& t : r.trials) sim_cycles += t.cycles;
+  if (r.wall_seconds > 0.0) {
+    m.trials_per_sec =
+        static_cast<double>(r.trials.size()) / r.wall_seconds;
+    m.sim_cycles_per_sec = static_cast<double>(sim_cycles) / r.wall_seconds;
+  }
+  return m;
+}
+
+struct Row {
+  std::string attack;
+  Measurement fresh1;   // fresh construction, --jobs 1
+  Measurement reset1;   // pooled reset, --jobs 1
+  Measurement reset_n;  // pooled reset, --jobs N
+  [[nodiscard]] double speedup() const {
+    return fresh1.trials_per_sec > 0.0
+               ? reset1.trials_per_sec / fresh1.trials_per_sec
+               : 0.0;
+  }
+};
+
+void json_measurement(runner::JsonWriter& w, const Measurement& m) {
+  w.begin_object();
+  w.key("wall_seconds");
+  w.value(m.wall_seconds);
+  w.key("trials_per_sec");
+  w.value(m.trials_per_sec);
+  w.key("sim_cycles_per_sec");
+  w.value(m.sim_cycles_per_sec);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::HarnessArgs args = bench::parse_harness_args(argc, argv);
+  const PerfArgs perf = parse_perf_args(argc, argv);
+
+  std::vector<std::string> attacks = perf.attacks;
+  if (attacks.empty()) attacks = core::attack_names();
+  for (const std::string& a : attacks) {
+    if (core::find_attack(a) == nullptr) {
+      std::fprintf(stderr, "perf_baseline: unknown attack '%s' in --attacks\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  const int jobs_n = runner::resolve_jobs(args.jobs);
+
+  bench::heading("Perf baseline — machine reset fast path vs fresh "
+                 "construction");
+
+  std::vector<Row> rows;
+  for (const std::string& attack : attacks) {
+    runner::RunSpec spec;
+    spec.attack = attack;
+    spec.trials = perf.trials;
+    spec.base_seed = 0xbe9cULL;
+    spec.payload_bytes = perf.bytes;
+    spec.batches = perf.batches;
+    spec.rounds = perf.batches;
+
+    Row row;
+    row.attack = attack;
+    row.fresh1 = measure(spec, /*reuse=*/false, /*jobs=*/1, args.progress);
+    row.reset1 = measure(spec, /*reuse=*/true, /*jobs=*/1, args.progress);
+    row.reset_n = jobs_n == 1
+                      ? row.reset1
+                      : measure(spec, /*reuse=*/true, jobs_n, args.progress);
+    rows.push_back(row);
+  }
+
+  std::printf("%-7s %12s %12s %8s %14s %12s\n", "attack", "fresh t/s",
+              "reset t/s", "speedup", "Mcyc/s reset",
+              ("reset t/s j" + std::to_string(jobs_n)).c_str());
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const Row& r : rows) {
+    std::printf("%-7s %12.1f %12.1f %7.2fx %14.1f %12.1f\n", r.attack.c_str(),
+                r.fresh1.trials_per_sec, r.reset1.trials_per_sec, r.speedup(),
+                r.reset1.sim_cycles_per_sec / 1e6,
+                r.reset_n.trials_per_sec);
+  }
+  std::printf("\n(%d trials per cell, %zu payload bytes, %d batches; both "
+              "paths produce bit-identical\n results — the delta is machine "
+              "construction vs snapshot reset)\n",
+              perf.trials, perf.bytes, perf.batches);
+
+  if (!args.json.empty()) {
+    runner::JsonWriter w;
+    w.begin_object();
+    w.key("trials");
+    w.value(perf.trials);
+    w.key("payload_bytes");
+    w.value(static_cast<std::uint64_t>(perf.bytes));
+    w.key("batches");
+    w.value(perf.batches);
+    w.key("jobs");
+    w.value(jobs_n);
+    w.key("attacks");
+    w.begin_array();
+    for (const Row& r : rows) {
+      w.begin_object();
+      w.key("attack");
+      w.value(r.attack);
+      w.key("fresh_jobs1");
+      json_measurement(w, r.fresh1);
+      w.key("reset_jobs1");
+      json_measurement(w, r.reset1);
+      w.key("reset_jobsN");
+      json_measurement(w, r.reset_n);
+      w.key("speedup");
+      w.value(r.speedup());
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    const std::string body = w.str();
+    if (!stats::json_is_valid(body)) {
+      std::fprintf(stderr, "perf_baseline: generated JSON is invalid\n");
+      return 1;
+    }
+    std::FILE* f = std::fopen(args.json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "perf_baseline: cannot open %s for writing\n",
+                   args.json.c_str());
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\n(perf trajectory written to %s)\n", args.json.c_str());
+  }
+
+  if (!args.metrics_out.empty()) {
+    obs::MetricsRegistry reg;
+    for (const Row& r : rows) {
+      reg.set_gauge(r.attack + ".fresh_jobs1.trials_per_sec",
+                    r.fresh1.trials_per_sec);
+      reg.set_gauge(r.attack + ".reset_jobs1.trials_per_sec",
+                    r.reset1.trials_per_sec);
+      reg.set_gauge(r.attack + ".reset_jobsN.trials_per_sec",
+                    r.reset_n.trials_per_sec);
+      reg.set_gauge(r.attack + ".speedup", r.speedup());
+    }
+    bench::write_metrics(reg, args.metrics_out);
+  }
+  return 0;
+}

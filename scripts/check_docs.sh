@@ -14,6 +14,8 @@
 #      flag without documenting it fails this check.
 #   5. Same for the extra flags bench/noise_sweep.cpp parses on top of the
 #      shared set (--noise-profile, --attacks, ...).
+#   6. Same for the extra flags bench/perf_baseline.cpp parses
+#      (--attacks, --trials, ...).
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -77,6 +79,17 @@ for flag in $sweep_flags; do
   fi
 done
 
+# perf_baseline likewise parses extra flags of its own.
+perf_flags=$(grep -oE '"--[a-z-]+"' "$root/bench/perf_baseline.cpp" |
+             tr -d '"' | sort -u)
+for flag in $perf_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: bench/perf_baseline.cpp parses $flag but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -89,7 +102,7 @@ fi
 if [[ $fail -eq 0 ]]; then
   echo "OK: $(echo "$documented" | wc -w) documented harnesses," \
        "$(echo "$harnesses" | wc -w) bench sources," \
-       "$(echo "$flags" | wc -w)+$(echo "$sweep_flags" | wc -w) harness" \
-       "flags, all in sync"
+       "$(echo "$flags" | wc -w)+$(echo "$sweep_flags" | wc -w)+$(echo \
+       "$perf_flags" | wc -w) harness flags, all in sync"
 fi
 exit $fail

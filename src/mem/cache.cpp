@@ -53,6 +53,7 @@ std::uint64_t Cache::fill(std::uint64_t paddr) {
   }
   std::uint64_t evicted = 0;
   if (victim->valid) evicted = victim->tag * kLineBytes;
+  touch_set(set);
   victim->valid = true;
   victim->tag = line;
   victim->lru = ++tick_;
@@ -70,6 +71,39 @@ void Cache::flush_line(std::uint64_t paddr) {
 
 void Cache::flush_all() {
   for (Way& way : ways_storage_) way.valid = false;
+}
+
+void Cache::touch_set(std::size_t set) {
+  if (!has_baseline_ || set_epoch_[set] == epoch_) return;
+  set_epoch_[set] = epoch_;
+  dirty_sets_.push_back(static_cast<std::uint32_t>(set));
+}
+
+void Cache::snapshot() {
+  has_baseline_ = true;
+  baseline_tick_ = tick_;
+  baseline_ways_.clear();
+  for (std::size_t i = 0; i < ways_storage_.size(); ++i) {
+    if (ways_storage_[i].valid)
+      baseline_ways_.emplace_back(static_cast<std::uint32_t>(i),
+                                  ways_storage_[i]);
+  }
+  set_epoch_.assign(sets_, 0);
+  dirty_sets_.clear();
+  epoch_ = 1;
+}
+
+void Cache::reset() {
+  if (!has_baseline_)
+    throw std::logic_error("Cache::reset: no snapshot taken");
+  for (const std::uint32_t set : dirty_sets_) {
+    for (std::size_t w = 0; w < ways_; ++w)
+      ways_storage_[set * ways_ + w].valid = false;
+  }
+  for (const auto& [i, way] : baseline_ways_) ways_storage_[i] = way;
+  tick_ = baseline_tick_;
+  dirty_sets_.clear();
+  ++epoch_;
 }
 
 std::size_t Cache::occupancy() const noexcept {

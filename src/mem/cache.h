@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace whisper::mem {
@@ -27,6 +28,20 @@ class Cache {
   void flush_line(std::uint64_t paddr);
   void flush_all();
 
+  /// Capture the current contents as the baseline reset() restores. Begins
+  /// dirty tracking: fills mark their set, so reset() only walks the sets
+  /// actually touched since.
+  void snapshot();
+  /// Restore the baseline: invalidate every dirty set, reapply the baseline
+  /// ways (which also heals LRU updates and flushes of baseline lines), and
+  /// restore the LRU clock. Throws std::logic_error without a snapshot.
+  void reset();
+  [[nodiscard]] bool snapshotted() const noexcept { return has_baseline_; }
+  /// Sets touched by a fill since the last snapshot()/reset().
+  [[nodiscard]] std::size_t dirty_sets() const noexcept {
+    return dirty_sets_.size();
+  }
+
   [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
   [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
   [[nodiscard]] std::size_t occupancy() const noexcept;
@@ -42,10 +57,24 @@ class Cache {
     return static_cast<std::size_t>(line) & (sets_ - 1);
   }
 
+  void touch_set(std::size_t set);
+
   std::size_t sets_;
   std::size_t ways_;
   std::uint64_t tick_ = 0;
   std::vector<Way> ways_storage_;
+
+  // Snapshot/reset state. Baseline ways are stored as (storage index, Way)
+  // and reapplied unconditionally on reset — any in-place mutation of a
+  // baseline line (LRU bump, flush, eviction) is healed without having been
+  // tracked. Only *fills* need marking, so reset() knows which sets hold
+  // post-snapshot lines to invalidate.
+  bool has_baseline_ = false;
+  std::uint64_t baseline_tick_ = 0;
+  std::vector<std::pair<std::uint32_t, Way>> baseline_ways_;
+  std::uint64_t epoch_ = 1;
+  std::vector<std::uint64_t> set_epoch_;
+  std::vector<std::uint32_t> dirty_sets_;
 };
 
 }  // namespace whisper::mem

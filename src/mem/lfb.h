@@ -33,6 +33,21 @@ class LineFillBuffer {
   void clear();
   [[nodiscard]] std::size_t occupancy() const noexcept { return used_; }
 
+  /// Capture the buffer as the baseline reset() restores (it is 10 entries;
+  /// a wholesale copy is cheaper than tracking).
+  void snapshot() {
+    baseline_entries_ = entries_;
+    baseline_used_ = used_;
+    baseline_seq_ = seq_;
+    has_baseline_ = true;
+  }
+  void reset() {
+    entries_ = baseline_entries_;
+    used_ = baseline_used_;
+    seq_ = baseline_seq_;
+  }
+  [[nodiscard]] bool snapshotted() const noexcept { return has_baseline_; }
+
  private:
   struct Entry {
     bool valid = false;
@@ -46,6 +61,11 @@ class LineFillBuffer {
   std::array<Entry, kEntries> entries_{};
   std::size_t used_ = 0;
   std::uint64_t seq_ = 0;
+
+  bool has_baseline_ = false;
+  std::array<Entry, kEntries> baseline_entries_{};
+  std::size_t baseline_used_ = 0;
+  std::uint64_t baseline_seq_ = 0;
 };
 
 }  // namespace whisper::mem

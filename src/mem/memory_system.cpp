@@ -312,4 +312,41 @@ void MemorySystem::victim_touch(std::uint64_t paddr, std::uint64_t value,
   lfb_.record_value(paddr, value, len);
 }
 
+void MemorySystem::snapshot() {
+  phys_.snapshot();
+  dtlb_.snapshot();
+  itlb_.snapshot();
+  stlb_.snapshot();
+  l1_.snapshot();
+  l2_.snapshot();
+  l3_.snapshot();
+  lfb_.snapshot();
+  std::copy(std::begin(psc_), std::end(psc_), std::begin(psc_base_));
+  std::copy(std::begin(psc_valid_), std::end(psc_valid_),
+            std::begin(psc_valid_base_));
+  psc_next_base_ = psc_next_;
+  has_baseline_ = true;
+}
+
+void MemorySystem::reset(std::uint64_t seed) {
+  if (!has_baseline_)
+    throw std::logic_error("MemorySystem::reset: no snapshot taken");
+  phys_.reset();
+  dtlb_.reset();
+  itlb_.reset();
+  stlb_.reset();
+  l1_.reset();
+  l2_.reset();
+  l3_.reset();
+  lfb_.reset();
+  std::copy(std::begin(psc_base_), std::end(psc_base_), std::begin(psc_));
+  std::copy(std::begin(psc_valid_base_), std::end(psc_valid_base_),
+            std::begin(psc_valid_));
+  psc_next_ = psc_next_base_;
+  // Re-derive the jitter stream exactly as construction would: the ctor
+  // consumes no randomness, so a fresh seed here is fresh-machine-identical.
+  cfg_.seed = seed;
+  rng_ = stats::Xoshiro256(seed ^ 0x3e3ea11dULL);
+}
+
 }  // namespace whisper::mem

@@ -191,6 +191,17 @@ class MemorySystem {
   void victim_touch(std::uint64_t paddr, std::uint64_t value,
                     std::size_t len);
 
+  /// Capture the whole memory side — phys frames, TLBs, caches, LFB and the
+  /// paging-structure caches — as the baseline reset() restores. Cheap:
+  /// components start dirty tracking; nothing large is copied.
+  void snapshot();
+  /// Restore the baseline and re-derive the jitter RNG exactly as
+  /// construction with cfg.seed = seed would, so a reset MemorySystem is
+  /// indistinguishable from a freshly built one. The active page table and
+  /// the sink/interference hooks are left to the caller (os::Machine).
+  void reset(std::uint64_t seed);
+  [[nodiscard]] bool snapshotted() const noexcept { return has_baseline_; }
+
  private:
   struct Translation {
     Fault fault = Fault::None;
@@ -230,6 +241,12 @@ class MemorySystem {
   std::uint64_t psc_[kPscEntries] = {};
   std::size_t psc_next_ = 0;
   bool psc_valid_[kPscEntries] = {};
+
+  // PSC baseline for snapshot()/reset().
+  bool has_baseline_ = false;
+  std::uint64_t psc_base_[kPscEntries] = {};
+  std::size_t psc_next_base_ = 0;
+  bool psc_valid_base_[kPscEntries] = {};
 };
 
 }  // namespace whisper::mem

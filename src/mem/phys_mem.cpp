@@ -1,25 +1,71 @@
 #include "mem/phys_mem.h"
 
+#include <cstring>
+#include <stdexcept>
+
 namespace whisper::mem {
 
-std::vector<std::uint8_t>& PhysicalMemory::frame(std::uint64_t paddr) {
-  auto& f = frames_[paddr / kFrameSize];
-  if (f.empty()) f.resize(kFrameSize, 0);
-  return f;
+std::uint32_t PhysicalMemory::alloc_slot(std::uint64_t frame_no) {
+  std::uint32_t s;
+  if (!free_slots_.empty()) {
+    s = free_slots_.back();  // recycled slots were zeroed when freed
+    free_slots_.pop_back();
+  } else {
+    s = static_cast<std::uint32_t>(frame_of_slot_.size());
+    frame_of_slot_.push_back(0);
+    slot_epoch_.push_back(0);
+    arena_.resize(arena_.size() + kFrameSize, 0);
+  }
+  frame_of_slot_[s] = frame_no;
+  slot_of_.emplace(frame_no, s);
+  if (has_baseline_) {
+    slot_epoch_[s] = epoch_;  // already dirty; no undo copy needed
+    alloc_since_.push_back(s);
+  }
+  return s;
 }
 
-const std::vector<std::uint8_t>* PhysicalMemory::frame_if_present(
+std::uint8_t* PhysicalMemory::frame_for_write(std::uint64_t paddr) {
+  const std::uint64_t frame_no = paddr / kFrameSize;
+  std::uint32_t s;
+  const auto it = slot_of_.find(frame_no);
+  if (it == slot_of_.end()) {
+    s = alloc_slot(frame_no);
+  } else {
+    s = it->second;
+    if (has_baseline_ && slot_epoch_[s] != epoch_) {
+      // First write to a baseline frame this epoch: save its pre-write
+      // bytes so reset() can play them back.
+      slot_epoch_[s] = epoch_;
+      undo_slots_.push_back(s);
+      const std::uint8_t* src = arena_.data() + std::size_t{s} * kFrameSize;
+      undo_data_.insert(undo_data_.end(), src, src + kFrameSize);
+    }
+  }
+  return arena_.data() + std::size_t{s} * kFrameSize;
+}
+
+const std::uint8_t* PhysicalMemory::frame_if_present(
     std::uint64_t paddr) const {
-  auto it = frames_.find(paddr / kFrameSize);
-  return it == frames_.end() ? nullptr : &it->second;
+  const auto it = slot_of_.find(paddr / kFrameSize);
+  if (it == slot_of_.end()) return nullptr;
+  return arena_.data() + std::size_t{it->second} * kFrameSize;
 }
 
 std::uint8_t PhysicalMemory::read8(std::uint64_t paddr) const {
-  const auto* f = frame_if_present(paddr);
-  return f ? (*f)[paddr % kFrameSize] : 0;
+  const std::uint8_t* f = frame_if_present(paddr);
+  return f ? f[paddr % kFrameSize] : 0;
 }
 
 std::uint64_t PhysicalMemory::read64(std::uint64_t paddr) const {
+  const std::uint64_t off = paddr % kFrameSize;
+  if (off <= kFrameSize - 8) {  // little-endian, single frame lookup
+    const std::uint8_t* f = frame_if_present(paddr);
+    if (!f) return 0;
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | f[off + i];
+    return v;
+  }
   std::uint64_t v = 0;
   for (int i = 7; i >= 0; --i)
     v = (v << 8) | read8(paddr + static_cast<std::uint64_t>(i));
@@ -27,10 +73,17 @@ std::uint64_t PhysicalMemory::read64(std::uint64_t paddr) const {
 }
 
 void PhysicalMemory::write8(std::uint64_t paddr, std::uint8_t value) {
-  frame(paddr)[paddr % kFrameSize] = value;
+  frame_for_write(paddr)[paddr % kFrameSize] = value;
 }
 
 void PhysicalMemory::write64(std::uint64_t paddr, std::uint64_t value) {
+  const std::uint64_t off = paddr % kFrameSize;
+  if (off <= kFrameSize - 8) {
+    std::uint8_t* f = frame_for_write(paddr);
+    for (int i = 0; i < 8; ++i)
+      f[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    return;
+  }
   for (int i = 0; i < 8; ++i) {
     write8(paddr + static_cast<std::uint64_t>(i),
            static_cast<std::uint8_t>(value >> (8 * i)));
@@ -47,6 +100,32 @@ std::vector<std::uint8_t> PhysicalMemory::read_bytes(std::uint64_t paddr,
   std::vector<std::uint8_t> out(len);
   for (std::size_t i = 0; i < len; ++i) out[i] = read8(paddr + i);
   return out;
+}
+
+void PhysicalMemory::snapshot() {
+  has_baseline_ = true;
+  ++epoch_;
+  undo_slots_.clear();
+  undo_data_.clear();
+  alloc_since_.clear();
+}
+
+void PhysicalMemory::reset() {
+  if (!has_baseline_)
+    throw std::logic_error("PhysicalMemory::reset: no snapshot taken");
+  for (std::size_t i = 0; i < undo_slots_.size(); ++i) {
+    std::memcpy(arena_.data() + std::size_t{undo_slots_[i]} * kFrameSize,
+                undo_data_.data() + i * kFrameSize, kFrameSize);
+  }
+  for (const std::uint32_t s : alloc_since_) {
+    std::memset(arena_.data() + std::size_t{s} * kFrameSize, 0, kFrameSize);
+    slot_of_.erase(frame_of_slot_[s]);
+    free_slots_.push_back(s);
+  }
+  undo_slots_.clear();
+  undo_data_.clear();
+  alloc_since_.clear();
+  ++epoch_;
 }
 
 }  // namespace whisper::mem

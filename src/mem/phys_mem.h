@@ -1,4 +1,4 @@
-// Sparse byte-addressable physical memory.
+// Sparse byte-addressable physical memory, backed by a pooled frame arena.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +9,18 @@ namespace whisper::mem {
 
 /// Physical memory backed by lazily allocated 4 KiB frames. Reads of
 /// never-written frames return zero, as DRAM-after-scrub would.
+///
+/// Frames live in one flat arena indexed by *slot*; a frame number → slot
+/// map plus a free list make allocation O(1) and keep every frame's storage
+/// alive across snapshot/reset cycles (no per-trial reallocation).
+///
+/// snapshot()/reset() implement the trial fast path: snapshot() marks the
+/// current contents as the baseline (O(1) — nothing is copied up front),
+/// after which the first write to each baseline frame saves an undo copy of
+/// it. reset() plays the undo log back, zeroes and frees every frame
+/// allocated since the snapshot (so a reset machine reads zeroes exactly
+/// where a fresh one would), and starts a new undo epoch. Cost is
+/// proportional to the frames actually written, not to the footprint.
 class PhysicalMemory {
  public:
   static constexpr std::uint64_t kFrameSize = 4096;
@@ -24,17 +36,51 @@ class PhysicalMemory {
   [[nodiscard]] std::vector<std::uint8_t> read_bytes(std::uint64_t paddr,
                                                      std::size_t len) const;
 
-  /// Number of frames that have been touched (for tests / accounting).
+  /// Mark the current contents as the baseline reset() restores. O(1);
+  /// clears the undo log and begins dirty tracking. May be called again to
+  /// re-baseline.
+  void snapshot();
+  /// Restore the baseline: undo every write to a pre-snapshot frame, zero
+  /// and free every frame allocated since. Throws std::logic_error if no
+  /// snapshot was taken.
+  void reset();
+  [[nodiscard]] bool snapshotted() const noexcept { return has_baseline_; }
+
+  /// Number of live (allocated) frames (for tests / accounting).
   [[nodiscard]] std::size_t allocated_frames() const noexcept {
-    return frames_.size();
+    return slot_of_.size();
+  }
+  /// Arena capacity in frames: live + pooled-free. Never shrinks; a steady
+  /// snapshot/reset cycle stops growing after the first trial.
+  [[nodiscard]] std::size_t pool_frames() const noexcept {
+    return frame_of_slot_.size();
+  }
+  /// Frames written (or newly allocated) since the last snapshot()/reset().
+  [[nodiscard]] std::size_t dirty_frames() const noexcept {
+    return undo_slots_.size() + alloc_since_.size();
   }
 
  private:
-  [[nodiscard]] std::vector<std::uint8_t>& frame(std::uint64_t paddr);
-  [[nodiscard]] const std::vector<std::uint8_t>* frame_if_present(
+  [[nodiscard]] std::uint8_t* frame_for_write(std::uint64_t paddr);
+  [[nodiscard]] const std::uint8_t* frame_if_present(
       std::uint64_t paddr) const;
+  std::uint32_t alloc_slot(std::uint64_t frame_no);
 
-  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> frames_;
+  std::vector<std::uint8_t> arena_;            // pool_frames() * kFrameSize
+  std::unordered_map<std::uint64_t, std::uint32_t> slot_of_;  // frame# → slot
+  std::vector<std::uint64_t> frame_of_slot_;   // slot → frame# (live slots)
+  std::vector<std::uint32_t> free_slots_;      // recycled, zeroed slots
+
+  // Undo log for the current epoch. A slot appears in at most one of the
+  // two lists: undo_slots_ for baseline frames (first write saves the
+  // pre-write bytes into undo_data_), alloc_since_ for frames allocated
+  // after the snapshot (zeroed and freed on reset).
+  bool has_baseline_ = false;
+  std::uint64_t epoch_ = 1;
+  std::vector<std::uint64_t> slot_epoch_;      // slot → last epoch touched
+  std::vector<std::uint32_t> undo_slots_;
+  std::vector<std::uint8_t> undo_data_;        // undo_slots_ * kFrameSize
+  std::vector<std::uint32_t> alloc_since_;
 };
 
 }  // namespace whisper::mem

@@ -64,6 +64,7 @@ void Tlb::insert(std::uint64_t vaddr, std::uint64_t paddr, PteFlags flags,
     }
     if (way.lru < victim->lru) victim = &way;
   }
+  touch_set(set);
   victim->valid = true;
   victim->entry = TlbEntry{vpn, paddr >> shift, flags, size, flags.global};
   victim->lru = ++tick_;
@@ -80,6 +81,38 @@ void Tlb::flush_all() {
 void Tlb::flush_non_global() {
   for (Way& way : ways_storage_)
     if (way.valid && !way.entry.global) way.valid = false;
+}
+
+void Tlb::touch_set(std::size_t set) {
+  if (!has_baseline_ || set_epoch_[set] == epoch_) return;
+  set_epoch_[set] = epoch_;
+  dirty_sets_.push_back(static_cast<std::uint32_t>(set));
+}
+
+void Tlb::snapshot() {
+  has_baseline_ = true;
+  baseline_tick_ = tick_;
+  baseline_ways_.clear();
+  for (std::size_t i = 0; i < ways_storage_.size(); ++i) {
+    if (ways_storage_[i].valid)
+      baseline_ways_.emplace_back(static_cast<std::uint32_t>(i),
+                                  ways_storage_[i]);
+  }
+  set_epoch_.assign(sets_, 0);
+  dirty_sets_.clear();
+  epoch_ = 1;
+}
+
+void Tlb::reset() {
+  if (!has_baseline_) throw std::logic_error("Tlb::reset: no snapshot taken");
+  for (const std::uint32_t set : dirty_sets_) {
+    for (std::size_t w = 0; w < ways_; ++w)
+      ways_storage_[set * ways_ + w].valid = false;
+  }
+  for (const auto& [i, way] : baseline_ways_) ways_storage_[i] = way;
+  tick_ = baseline_tick_;
+  dirty_sets_.clear();
+  ++epoch_;
 }
 
 std::size_t Tlb::occupancy() const noexcept {

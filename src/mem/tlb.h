@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "mem/page_table.h"
@@ -44,6 +45,17 @@ class Tlb {
   /// …or everything except global entries (kernel text under CR3 switch).
   void flush_non_global();
 
+  /// Capture the current contents as the baseline reset() restores; begins
+  /// per-set dirty tracking (same scheme as Cache::snapshot).
+  void snapshot();
+  /// Invalidate dirty sets, reapply the baseline ways, restore the LRU
+  /// clock. Throws std::logic_error without a snapshot.
+  void reset();
+  [[nodiscard]] bool snapshotted() const noexcept { return has_baseline_; }
+  [[nodiscard]] std::size_t dirty_sets() const noexcept {
+    return dirty_sets_.size();
+  }
+
   [[nodiscard]] std::size_t sets() const noexcept { return sets_; }
   [[nodiscard]] std::size_t ways() const noexcept { return ways_; }
   [[nodiscard]] std::size_t occupancy() const noexcept;
@@ -63,10 +75,21 @@ class Tlb {
   [[nodiscard]] Way* find(std::uint64_t vaddr);
   [[nodiscard]] const Way* find(std::uint64_t vaddr) const;
 
+  void touch_set(std::size_t set);
+
   std::size_t sets_;
   std::size_t ways_;
   std::uint64_t tick_ = 0;
   std::vector<Way> ways_storage_;  // sets_ * ways_, row-major by set
+
+  // Snapshot/reset state (see Cache): baseline ways reapplied wholesale on
+  // reset heal in-place mutations; only new-way installs mark their set.
+  bool has_baseline_ = false;
+  std::uint64_t baseline_tick_ = 0;
+  std::vector<std::pair<std::uint32_t, Way>> baseline_ways_;
+  std::uint64_t epoch_ = 1;
+  std::vector<std::uint64_t> set_epoch_;
+  std::vector<std::uint32_t> dirty_sets_;
 };
 
 }  // namespace whisper::mem

@@ -117,6 +117,18 @@ NoiseEngine::NoiseEngine(NoiseProfile profile, std::uint64_t seed)
       prefetch_i_(profile_.intensity(NoiseKind::Prefetcher)),
       tlb_i_(profile_.intensity(NoiseKind::TlbShootdown)) {}
 
+void NoiseEngine::reset(std::uint64_t seed) {
+  rng_ = stats::Xoshiro256(seed ^ profile_.seed);
+  stats_ = NoiseStats{};
+  last_cycle_ = 0;
+  timer_next_ = 0;
+  dvfs_next_ = 0;
+  tlb_next_ = 0;
+  burst_start_ = 0;
+  burst_end_ = 0;
+  dvfs_scale_ = 1.0;
+}
+
 std::uint64_t NoiseEngine::jittered(std::uint64_t mean) {
   // mean ± 25%, uniform.
   const std::uint64_t quarter = mean / 4;

@@ -119,6 +119,12 @@ class NoiseEngine final : public mem::MemInterference,
   /// returns a timer-interrupt handler cost when one is due (0 otherwise).
   std::uint64_t on_cycle(std::uint64_t cycle) override;
 
+  /// Return the engine to its post-construction state for a new trial:
+  /// counters zeroed, scheduling state cleared, the noise stream re-derived
+  /// exactly as construction with this seed would. The attach()ed
+  /// MemorySystem pointer is kept.
+  void reset(std::uint64_t seed);
+
   /// Core-vs-nominal frequency ratio the DVFS source currently applies.
   [[nodiscard]] double dvfs_scale() const noexcept { return dvfs_scale_; }
   [[nodiscard]] const NoiseProfile& profile() const noexcept {

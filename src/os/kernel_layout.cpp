@@ -35,12 +35,30 @@ KernelLayout::KernelLayout(mem::PhysicalMemory& phys,
                            const KernelOptions& opts)
     : phys_(phys), opts_(opts), image_pa_(kImagePhysBase),
       dummy_pa_(kDummyPhysBase) {
-  stats::Xoshiro256 rng(opts.seed ^ 0x4b415352ull);  // "KASR"
+  derive_layout();
+
+  // Give the image recognisable content so Meltdown reads return real
+  // bytes. Deliberately seed-independent: reseed() can move the image
+  // without touching physical memory.
+  for (std::uint64_t off = 0; off < kKernelImageBytes; off += 4096)
+    phys_.write64(image_pa_ + off, 0x6b65726e656c0000ull | (off >> 12));
+}
+
+bool KernelLayout::reseed(std::uint64_t seed) {
+  const int old_slot = slot_;
+  opts_.seed = seed;
+  secret_vaddr_ = 0;
+  derive_layout();
+  return slot_ != old_slot;
+}
+
+void KernelLayout::derive_layout() {
+  stats::Xoshiro256 rng(opts_.seed ^ 0x4b415352ull);  // "KASR"
 
   const int max_slot =
       kKaslrSlots - static_cast<int>(kKernelImageBytes / kKaslrSlotBytes);
-  slot_ = opts.kaslr_slot >= 0
-              ? opts.kaslr_slot
+  slot_ = opts_.kaslr_slot >= 0
+              ? opts_.kaslr_slot
               : static_cast<int>(rng.next_below(
                     static_cast<std::uint64_t>(max_slot)));
   if (slot_ > max_slot)
@@ -48,10 +66,6 @@ KernelLayout::KernelLayout(mem::PhysicalMemory& phys,
                                 "the KASLR region");
   base_ = kKaslrRegionStart +
           static_cast<std::uint64_t>(slot_) * kKaslrSlotBytes;
-
-  // Give the image recognisable content so Meltdown reads return real bytes.
-  for (std::uint64_t off = 0; off < kKernelImageBytes; off += 4096)
-    phys_.write64(image_pa_ + off, 0x6b65726e656c0000ull | (off >> 12));
 
   symbols_ = default_symbols();
   if (opts_.fgkaslr) {

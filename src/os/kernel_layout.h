@@ -57,6 +57,14 @@ class KernelLayout {
     return base_ + kKptiTrampolineOffset;
   }
 
+  /// Re-derive the seed-dependent layout (KASLR slot, FGKASLR shuffle)
+  /// exactly as construction with opts.seed = seed would — without
+  /// rewriting the image bytes, which are seed-independent (the trial reset
+  /// path restores them through PhysicalMemory::reset). Clears any planted
+  /// secret. Returns true when the image moved to a different slot, i.e.
+  /// when install() must be replayed into freshly unmapped views.
+  bool reseed(std::uint64_t seed);
+
   /// Populate the kernel halves of the two page-table views.
   /// `kernel_view` gets the full image; `user_view` gets what an unprivileged
   /// process can reach: the full (supervisor) image without KPTI, only the
@@ -92,6 +100,10 @@ class KernelLayout {
   }
 
  private:
+  /// Everything the constructor derives from opts_.seed: slot, base, and
+  /// the (FG)KASLR symbol layout. Shared by the ctor and reseed().
+  void derive_layout();
+
   mem::PhysicalMemory& phys_;
   KernelOptions opts_;
   int slot_ = 0;

@@ -12,6 +12,7 @@ constexpr std::uint64_t kUserPhysBase = 0x40000000ull;  // 1 GiB
 Machine::Machine(const MachineOptions& opts)
     : opts_(opts),
       cfg_(opts.config ? *opts.config : uarch::make_config(opts.model)) {
+  preset_seed_ = cfg_.seed;
   if (opts.seed != 0) cfg_.seed = opts.seed;
   cfg_.mem.seed = cfg_.seed;
 
@@ -55,6 +56,39 @@ Machine::Machine(const MachineOptions& opts)
     mem_->set_interference(noise_.get());
     core_->set_interference(noise_.get());
   }
+}
+
+void Machine::snapshot() { mem_->snapshot(); }
+
+void Machine::reset(std::uint64_t seed) {
+  const std::uint64_t eff = seed != 0 ? seed : preset_seed_;
+  opts_.seed = seed;
+  cfg_.seed = eff;
+  cfg_.mem.seed = eff;
+
+  // Memory side: phys frames, TLBs, caches, LFB back to the snapshot;
+  // jitter stream re-derived from the new seed (throws before snapshot()).
+  mem_->reset(eff);
+
+  // Kernel half: re-derive the KASLR placement the way construction would.
+  // The image bytes are seed-independent and were just restored with the
+  // rest of physical memory; only a slot move needs the views remapped.
+  KernelOptions kopts = opts_.kernel;
+  const std::uint64_t kseed =
+      kopts.seed == 0x4a51c0deULL ? eff : kopts.seed;
+  if (kernel_->reseed(kseed)) {
+    kernel_view_.unmap(kKaslrRegionStart, kKaslrRegionEnd - kKaslrRegionStart);
+    user_view_.unmap(kKaslrRegionStart, kKaslrRegionEnd - kKaslrRegionStart);
+    kernel_->install(kernel_view_, user_view_);
+  }
+
+  // Core side: cycle counter, PMU, BPU, DSB, contexts, RNG. The cached
+  // eviction program survives deliberately — its content depends only on
+  // the STLB geometry, and the DSB it may have warmed was just cleared.
+  core_->reset(eff);
+  if (noise_) noise_->reset(eff);
+
+  mem_->set_page_table(&user_view_);
 }
 
 uarch::RunResult Machine::run_user(

@@ -65,6 +65,25 @@ class Machine {
 
   explicit Machine(const MachineOptions& opts);
 
+  /// Capture the machine's current memory contents as the baseline that
+  /// reset() restores. O(1) — dirty tracking starts here; nothing is copied
+  /// until frames/sets are actually written. Call once after construction
+  /// (and any shared setup all trials should see), then reset() per trial.
+  void snapshot();
+
+  /// The trial fast path: restore the snapshot and return every
+  /// microarchitectural structure — caches, TLBs, LFB, BPU, PMU, DSB, cycle
+  /// counter — and every RNG to the state a freshly constructed
+  /// Machine(options with .seed = seed) would have, without reallocating
+  /// anything. A reset machine is bit-identical to a fresh one
+  /// (tests/test_machine_reset.cpp pins this for every registry attack).
+  /// seed == 0 re-derives from the CPU preset, mirroring
+  /// MachineOptions::seed == 0. Throws std::logic_error before snapshot().
+  void reset(std::uint64_t seed = 0);
+  [[nodiscard]] bool snapshotted() const noexcept {
+    return mem_->snapshotted();
+  }
+
   [[nodiscard]] uarch::Core& core() noexcept { return *core_; }
   [[nodiscard]] mem::MemorySystem& memsys() noexcept { return *mem_; }
   /// The attached interference engine, or nullptr when the profile is off.
@@ -147,6 +166,7 @@ class Machine {
  private:
   MachineOptions opts_;
   uarch::CpuConfig cfg_;
+  std::uint64_t preset_seed_ = 0;  // cfg seed before any opts.seed override
   std::unique_ptr<mem::MemorySystem> mem_;
   std::unique_ptr<KernelLayout> kernel_;
   mem::PageTable kernel_view_;

@@ -1,5 +1,8 @@
 #include "runner/runner.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -29,6 +32,63 @@ const core::AttackInfo& attack_info_or_throw(const std::string& name) {
   return *info;
 }
 
+/// Construction inputs that must match for a pooled Machine to be reusable
+/// via reset(): everything machine_options() forwards except the per-trial
+/// seed (reset() re-derives every seeded stream). Doubles are serialised as
+/// hexfloats — exact, so two profiles can never alias to one machine.
+std::string machine_key(const RunSpec& spec) {
+  char buf[64];
+  std::string k = std::to_string(static_cast<int>(spec.model));
+  k += '|';
+  k += spec.kernel.kpti ? '1' : '0';
+  k += spec.kernel.flare ? '1' : '0';
+  k += spec.kernel.fgkaslr ? '1' : '0';
+  k += '.';
+  k += std::to_string(spec.kernel.kaslr_slot);
+  k += '.';
+  k += std::to_string(spec.kernel.seed);
+  k += '|';
+  k += spec.docker ? '1' : '0';
+  k += '|';
+  k += spec.noise.name;
+  k += '.';
+  k += std::to_string(spec.noise.seed);
+  for (const noise::NoiseSource& s : spec.noise.sources) {
+    std::snprintf(buf, sizeof buf, ":%d=%a", static_cast<int>(s.kind),
+                  s.intensity);
+    k += buf;
+  }
+  return k;
+}
+
+/// Per-worker machine pool: one snapshot()ted Machine per construction key,
+/// reset() between trials. thread_local, so the executor's persistent
+/// workers (and the jobs==1 inline path) each keep their own — no sharing,
+/// no locks. A tiny LRU cap bounds memory when sweeps interleave many
+/// models/profiles on one thread.
+struct PooledMachine {
+  std::string key;
+  std::unique_ptr<os::Machine> machine;
+};
+constexpr std::size_t kMaxPooledMachines = 4;
+thread_local std::vector<PooledMachine> tl_machines;
+
+os::Machine& pooled_machine(const RunSpec& spec, std::uint64_t seed) {
+  std::string key = machine_key(spec);
+  for (auto it = tl_machines.begin(); it != tl_machines.end(); ++it) {
+    if (it->key == key) {
+      std::rotate(tl_machines.begin(), it, it + 1);  // move to front
+      return *tl_machines.front().machine;
+    }
+  }
+  auto m = std::make_unique<os::Machine>(machine_options(spec, seed));
+  m->snapshot();
+  tl_machines.insert(tl_machines.begin(),
+                     PooledMachine{std::move(key), std::move(m)});
+  if (tl_machines.size() > kMaxPooledMachines) tl_machines.pop_back();
+  return *tl_machines.front().machine;
+}
+
 }  // namespace
 
 std::string RunSpec::label() const {
@@ -50,19 +110,25 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t index) {
   return s ? s : 1;  // 0 would mean "derive from the CPU preset"
 }
 
-TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
-  const core::AttackInfo& info = attack_info_or_throw(spec.attack);
-
-  TrialResult t;
-  t.seed = seed;
-
+os::MachineOptions machine_options(const RunSpec& spec, std::uint64_t seed) {
   os::MachineOptions mo;
   mo.model = spec.model;
   mo.kernel = spec.kernel;
   mo.docker = spec.docker;
   mo.seed = seed;
   mo.noise = spec.noise;
-  os::Machine m(mo);
+  return mo;
+}
+
+namespace {
+
+/// The attack phase shared by both trial paths: `m` is either freshly
+/// constructed or freshly reset() — by this point the two are
+/// indistinguishable.
+TrialResult attack_phase(const RunSpec& spec, const core::AttackInfo& info,
+                         std::uint64_t seed, os::Machine& m) {
+  TrialResult t;
+  t.seed = seed;
 
   // Observability: PMU deltas (and optionally the full event log) over the
   // attack phase. Attaching the log must not perturb the run —
@@ -101,15 +167,35 @@ TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
   return t;
 }
 
+}  // namespace
+
+TrialResult run_trial(const RunSpec& spec, std::uint64_t seed) {
+  const core::AttackInfo& info = attack_info_or_throw(spec.attack);
+  os::Machine m(machine_options(spec, seed));
+  return attack_phase(spec, info, seed, m);
+}
+
+TrialResult run_trial(const RunSpec& spec, std::uint64_t seed,
+                      os::Machine& m) {
+  const core::AttackInfo& info = attack_info_or_throw(spec.attack);
+  m.reset(seed);
+  return attack_phase(spec, info, seed, m);
+}
+
 namespace {
 
 /// One trial of `spec` as run()/run_many() schedule it: seed and payload
-/// stream both derived from the trial index.
+/// stream both derived from the trial index. The per-trial seed is computed
+/// before either path touches a Machine, so fresh and pooled trials see the
+/// same schedule by construction.
 TrialResult run_indexed_trial(const RunSpec& spec, std::size_t i) {
   RunSpec per_trial = spec;
   // Decorrelate the payload stream per trial alongside the seed.
   per_trial.payload_seed = spec.payload_seed ^ i;
-  return run_trial(per_trial, trial_seed(spec.base_seed, i));
+  const std::uint64_t seed = trial_seed(spec.base_seed, i);
+  if (spec.reuse_machine)
+    return run_trial(per_trial, seed, pooled_machine(per_trial, seed));
+  return run_trial(per_trial, seed);
 }
 
 /// The merge step: fold per-trial results, strictly in trial index order.

@@ -2,11 +2,13 @@
 //
 // A RunSpec names one experiment cell: cpu model × attack × trial count ×
 // knobs. run() fans the trials out across an Executor's thread pool; each
-// trial builds a private os::Machine seeded with trial_seed(base, index), so
-// the trial stream is a pure function of the spec and the results are
-// bit-identical whatever --jobs is. The merge step folds the per-trial
-// stats::Histogram / per-trial timings into one RunResult, always in trial
-// index order.
+// trial runs on a private os::Machine seeded with trial_seed(base, index) —
+// by default a per-worker machine reset() between trials (the snapshot
+// fast path), or a fresh construction with reuse_machine = false — so the
+// trial stream is a pure function of the spec and the results are
+// bit-identical whatever --jobs is, and whichever trial path runs. The
+// merge step folds the per-trial stats::Histogram / per-trial timings into
+// one RunResult, always in trial index order.
 //
 //   runner::RunSpec spec{.model = uarch::CpuModel::CometLakeI9_10980XE,
 //                        .attack = "kaslr",
@@ -31,6 +33,7 @@
 #include "obs/metrics.h"
 #include "obs/topdown.h"
 #include "os/kernel_layout.h"
+#include "os/machine.h"
 #include "runner/executor.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
@@ -72,6 +75,15 @@ struct RunSpec {
   /// Off by default: full event capture is memory-heavy, and with it off
   /// the core's trace hooks stay a branch on a null pointer.
   bool collect_trace = false;
+
+  /// Trial fast path: each worker thread keeps one os::Machine per distinct
+  /// construction key and reset()s it between trials instead of rebuilding
+  /// page tables, caches and predictors from scratch. Results are
+  /// bit-identical either way — the per-trial seed schedule is shared (see
+  /// machine_options()) and tests/test_machine_reset.cpp pins equality —
+  /// so this is on by default; bench/perf_baseline measures the two paths
+  /// against each other by flipping it.
+  bool reuse_machine = true;
 
   /// Human-readable "attack @ model ×trials" label for progress lines.
   [[nodiscard]] std::string label() const;
@@ -148,10 +160,24 @@ struct RunResult {
 [[nodiscard]] std::uint64_t trial_seed(std::uint64_t base_seed,
                                        std::uint64_t index);
 
+/// The single place a trial's MachineOptions are derived from its spec and
+/// per-trial seed. Both trial paths — fresh construction and pooled
+/// reset() — go through here, so the seed schedule cannot depend on whether
+/// the Machine is rebuilt or reused.
+[[nodiscard]] os::MachineOptions machine_options(const RunSpec& spec,
+                                                 std::uint64_t seed);
+
 /// Run a single trial of `spec` on a fresh Machine seeded with `seed`.
 /// Pure: no shared state, safe to call from any thread. Throws
 /// std::invalid_argument when spec.attack is not a registered name.
 [[nodiscard]] TrialResult run_trial(const RunSpec& spec, std::uint64_t seed);
+
+/// Reset-path variant: run the trial on a caller-provided machine, which
+/// must have been constructed from machine_options(spec, <any seed>) and
+/// snapshot()ted. The machine is reset(seed) first, so the result is
+/// bit-identical to the fresh-Machine overload with the same arguments.
+[[nodiscard]] TrialResult run_trial(const RunSpec& spec, std::uint64_t seed,
+                                    os::Machine& m);
 
 /// Fan spec.trials out over the executor and merge. With `progress`,
 /// per-trial completion lines go to stderr. Unknown attack names throw

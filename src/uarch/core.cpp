@@ -96,6 +96,23 @@ Core::Core(const CpuConfig& cfg, mem::MemorySystem& mem)
   mem_.set_event_sink(&pmu_);
 }
 
+void Core::reset(std::uint64_t seed) {
+  cfg_.seed = seed;
+  cfg_.mem.seed = seed;
+  pmu_.reset();
+  bpu_.reset();
+  rng_ = stats::Xoshiro256(seed ^ 0xc04e5eedULL);
+  cycle_ = 0;
+  avx_warm_until_ = 0;
+  shared_frontend_busy_until_ = 0;
+  nthreads_ = 1;
+  for (ThreadCtx& ctx : ctx_) ctx = ThreadCtx{};
+  last_prog_ = {};
+  for (auto& dsb : persistent_dsb_) dsb.clear();
+  issued_uops_this_cycle_ = 0;
+  alloc_uops_this_cycle_ = 0;
+}
+
 RunResult Core::run(const isa::Program& prog, const InitState& init,
                     std::uint64_t cycle_limit) {
   nthreads_ = 1;

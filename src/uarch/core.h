@@ -113,6 +113,13 @@ class Core {
   /// Forget predictor state (models a context switch / fresh victim).
   void reset_bpu() { bpu_.reset(); }
 
+  /// Return the core to its post-construction state — cycle counter, PMU,
+  /// BPU, DSB, SMT contexts and scratch all cleared, the jitter RNG
+  /// re-derived exactly as construction with cfg.seed = seed would. The
+  /// attached trace/interference hooks are left untouched (os::Machine and
+  /// the runner manage those).
+  void reset(std::uint64_t seed);
+
   /// Attach (or detach with nullptr) a pipeline trace sink. Any TraceSink
   /// works: the bounded uarch::PipelineTrace ring for tests, or the
   /// unbounded obs::EventLog feeding the Chrome-trace exporter. With no

@@ -1,13 +1,15 @@
 // Differential testing: the out-of-order core must commit exactly what the
 // sequential reference interpreter computes, for arbitrary programs. A
-// seeded generator produces random (terminating) programs; both engines run
-// them; architectural registers and memory must agree.
+// seeded generator (tests/support/program_generator.h, shared with the
+// snapshot/reset suite) produces random terminating programs; both engines
+// run them; architectural registers and memory must agree.
 #include <gtest/gtest.h>
 
 #include "isa/builder.h"
 #include "isa/interpreter.h"
 #include "os/machine.h"
 #include "stats/rng.h"
+#include "support/program_generator.h"
 
 namespace whisper {
 namespace {
@@ -15,145 +17,8 @@ namespace {
 using isa::Cond;
 using isa::ProgramBuilder;
 using isa::Reg;
-
-// Registers the generator plays with (avoids RSP, which the Machine
-// initialises, and R8/R9, reserved for rdtsc in other tests).
-constexpr Reg kPool[] = {Reg::RAX, Reg::RBX, Reg::RCX, Reg::RDX,
-                         Reg::RSI, Reg::RDI, Reg::R10, Reg::R11,
-                         Reg::R12, Reg::R13};
-
-class ProgramGenerator {
- public:
-  explicit ProgramGenerator(std::uint64_t seed) : rng_(seed) {}
-
-  /// Generate a terminating program: straight-line blocks with forward
-  /// branches, bounded counted backward loops (R15 is the loop counter),
-  /// TSX begin/end pairs, cache-line flushes, and memory traffic confined
-  /// to the data window. Control-flow units are emitted atomically, so
-  /// forward branches always land on unit boundaries — never inside a loop
-  /// body or a TSX region — and every program halts.
-  isa::Program generate(int length) {
-    ProgramBuilder b;
-    int label_id = 0;
-    std::vector<std::string> pending;  // forward labels not yet placed
-
-    // Pin the memory base so loads/stores stay in the mapped data region.
-    b.mov(Reg::R14, static_cast<std::int64_t>(os::Machine::kDataBase));
-
-    for (int i = 0; i < length; ++i) {
-      // Place a pending forward label with some probability.
-      if (!pending.empty() && rng_.next_bool(0.35)) {
-        b.label(pending.back());
-        pending.pop_back();
-      }
-      emit_random(b, pending, label_id);
-    }
-    // Close all remaining forward labels, then stop.
-    while (!pending.empty()) {
-      b.label(pending.back());
-      pending.pop_back();
-    }
-    b.halt();
-    return b.build();
-  }
-
-  std::array<std::uint64_t, isa::kNumRegs> random_regs() {
-    std::array<std::uint64_t, isa::kNumRegs> regs{};
-    for (Reg r : kPool)
-      regs[static_cast<std::size_t>(r)] = rng_.next();
-    return regs;
-  }
-
- private:
-  Reg pick() {
-    return kPool[rng_.next_below(std::size(kPool))];
-  }
-  std::int64_t small_imm() {
-    return static_cast<std::int64_t>(rng_.next_in(-128, 127));
-  }
-  /// Offset within the mapped data region (R14-relative, 8-byte aligned).
-  std::int64_t mem_disp() {
-    return static_cast<std::int64_t>(rng_.next_below(0x1000)) * 8;
-  }
-
-  /// A short run of flag-safe ALU ops (loop/TSX bodies — nothing that can
-  /// fault or touch R14/R15).
-  void emit_alu_body(ProgramBuilder& b) {
-    const int n = static_cast<int>(rng_.next_below(3)) + 1;
-    for (int i = 0; i < n; ++i) {
-      switch (rng_.next_below(4)) {
-        case 0: b.add(pick(), small_imm()); break;
-        case 1: b.xor_(pick(), pick()); break;
-        case 2: b.not_(pick()); break;
-        default: b.shl(pick(), static_cast<std::int64_t>(rng_.next_below(4)));
-                 break;
-      }
-    }
-  }
-
-  void emit_random(ProgramBuilder& b, std::vector<std::string>& pending,
-                   int& label_id) {
-    switch (rng_.next_below(21)) {
-      case 0: b.mov(pick(), small_imm()); break;
-      case 1: b.mov(pick(), pick()); break;
-      case 2: b.add(pick(), small_imm()); break;
-      case 3: b.add(pick(), pick()); break;
-      case 4: b.sub(pick(), pick()); break;
-      case 5: b.xor_(pick(), pick()); break;
-      case 6: b.and_(pick(), small_imm()); break;
-      case 7: b.shl(pick(), static_cast<std::int64_t>(rng_.next_below(8)));
-              break;
-      case 8: b.imul(pick(), pick()); break;
-      case 9: b.neg(pick()); break;
-      case 10: b.not_(pick()); break;
-      case 11: b.cmp(pick(), pick()); break;
-      case 12: {  // cmov after a fresh cmp so flags are deterministic
-        b.cmp(pick(), small_imm());
-        b.cmov(static_cast<Cond>(rng_.next_below(8)), pick(), pick());
-        break;
-      }
-      case 13: b.store(Reg::R14, pick(), mem_disp()); break;
-      case 14: b.load(pick(), Reg::R14, mem_disp()); break;
-      case 15: b.store_byte(Reg::R14, pick(), mem_disp()); break;
-      case 16: b.load_byte(pick(), Reg::R14, mem_disp()); break;
-      case 17: {  // forward conditional branch
-        b.cmp(pick(), small_imm());
-        std::string l = "L" + std::to_string(label_id++);
-        b.jcc(static_cast<Cond>(rng_.next_below(8)), l);
-        pending.push_back(std::move(l));
-        break;
-      }
-      case 18: {  // counted backward loop: R15 counts 0..trip, always taken
-                  // trip-1 times then falls through — bounded by
-                  // construction, exercising BPU backward prediction and
-                  // loop-carried flags in both engines
-        const std::int64_t trip =
-            static_cast<std::int64_t>(rng_.next_below(7)) + 1;
-        const std::string top = "B" + std::to_string(label_id++);
-        b.mov(Reg::R15, 0);
-        b.label(top);
-        emit_alu_body(b);
-        b.add(Reg::R15, 1);
-        b.cmp(Reg::R15, trip);
-        b.jcc(Cond::NZ, top);
-        break;
-      }
-      case 19: {  // TSX region: begin/end pair around a flag-safe body; no
-                  // fault can occur here, so the abort path never runs and
-                  // both engines must agree on the committed body
-        const std::string abort_to = "T" + std::to_string(label_id++);
-        b.tsx_begin(abort_to);
-        emit_alu_body(b);
-        b.tsx_end();
-        b.label(abort_to);
-        break;
-      }
-      case 20: b.clflush(Reg::R14, mem_disp()); break;
-    }
-  }
-
-  stats::Xoshiro256 rng_;
-};
+using test_support::kPool;
+using test_support::ProgramGenerator;
 
 class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -194,6 +59,63 @@ INSTANTIATE_TEST_SUITE_P(RandomPrograms, DifferentialTest,
                          ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
                                            13ull, 21ull, 34ull, 55ull,
                                            89ull));
+
+// Reset-path differential: the same programs, but run a second time on the
+// same Machine after reset(). Both the first run (snapshotted machine) and
+// the rerun must match the reference interpreter, and the rerun must be
+// cycle-identical to the first — the snapshot/reset fast path may not leave
+// any residue the pipeline can observe.
+class ResetDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ResetDifferentialTest, RerunAfterResetMatchesReferenceBothTimes) {
+  ProgramGenerator gen(GetParam() ^ 0x5e5e7ull);
+  os::Machine m({.model = uarch::CpuModel::KabyLakeI7_7700,
+                 .seed = GetParam() + 100});
+  m.snapshot();
+  for (int round = 0; round < 3; ++round) {
+    const isa::Program prog = gen.generate(60);
+    const auto init = gen.random_regs();
+
+    isa::RefMemory ref_mem;
+    const auto ref = isa::interpret(prog, init, ref_mem, 50'000);
+    ASSERT_NE(ref.status, isa::InterpStatus::StepLimit);
+    ASSERT_NE(ref.status, isa::InterpStatus::Faulted);
+
+    const std::uint64_t seed = GetParam() + 100 + round;
+    m.reset(seed);
+    const auto first = m.run_user(prog, init, -1, 400'000);
+    ASSERT_FALSE(first.cycle_limit_hit);
+    m.reset(seed);
+    const auto rerun = m.run_user(prog, init, -1, 400'000);
+    ASSERT_FALSE(rerun.cycle_limit_hit);
+
+    EXPECT_EQ(rerun.cycles(), first.cycles())
+        << "reset left timing residue (seed " << GetParam() << " round "
+        << round << ")";
+    for (Reg r : kPool) {
+      const auto idx = static_cast<std::size_t>(r);
+      EXPECT_EQ(first.t0().regs[idx], ref.regs[idx])
+          << "first run diverged from reference in " << isa::to_string(r)
+          << " (seed " << GetParam() << " round " << round << ")\n"
+          << prog.disassemble();
+      EXPECT_EQ(rerun.t0().regs[idx], ref.regs[idx])
+          << "rerun after reset diverged from reference in "
+          << isa::to_string(r) << " (seed " << GetParam() << " round "
+          << round << ")\n"
+          << prog.disassemble();
+    }
+    bool mem_ok = true;
+    ref_mem.for_each([&](std::uint64_t addr, std::uint8_t value) {
+      if (m.peek8(addr) != value) mem_ok = false;
+    });
+    EXPECT_TRUE(mem_ok) << "memory diverged after reset rerun (seed "
+                        << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, ResetDifferentialTest,
+                         ::testing::Values(3ull, 17ull, 29ull, 41ull));
 
 // Hand-written loop programs — fixed trip counts the generator's random
 // loops don't guarantee to hit.
