@@ -54,12 +54,26 @@ inline const char* mark(bool ok) { return ok ? "✓" : "✗"; }
 ///   --metrics-out PATH write everything the harness measured as a
 ///                      named-metric JSON registry (obs::MetricsRegistry);
 ///                      a .csv extension selects CSV instead
+///
+/// Fault-tolerance knobs (whisper::runner's recovery layer — see
+/// docs/ARCHITECTURE.md "Failure semantics & fault injection"):
+///   --retries R                extra attempts per failed trial (default 0)
+///   --trial-cycle-budget C     simulated-cycle cap per trial attempt
+///   --trial-wall-budget SECS   host wall-clock watchdog per trial attempt
+///   --verify-reset             digest-check pooled machines after reset()
+///   --fault-plan PLAN          seeded fault injection, e.g.
+///                              "throw@2;corrupt@5" (src/fault/fault.h)
 struct HarnessArgs {
   int jobs = 1;
   bool progress = false;
   std::string json;
   std::string trace_out;
   std::string metrics_out;
+  int retries = 0;
+  std::uint64_t trial_cycle_budget = 0;
+  double trial_wall_budget = 0.0;
+  bool verify_reset = false;
+  std::string fault_plan;
 };
 
 inline HarnessArgs parse_harness_args(int argc, char** argv) {
@@ -77,9 +91,31 @@ inline HarnessArgs parse_harness_args(int argc, char** argv) {
       out.trace_out = argv[++i];
     } else if (a == "--metrics-out" && i + 1 < argc) {
       out.metrics_out = argv[++i];
+    } else if (a == "--retries" && i + 1 < argc) {
+      out.retries = std::atoi(argv[++i]);
+    } else if (a == "--trial-cycle-budget" && i + 1 < argc) {
+      out.trial_cycle_budget = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--trial-wall-budget" && i + 1 < argc) {
+      out.trial_wall_budget = std::atof(argv[++i]);
+    } else if (a == "--verify-reset") {
+      out.verify_reset = true;
+    } else if (a == "--fault-plan" && i + 1 < argc) {
+      out.fault_plan = argv[++i];
     }
   }
   return out;
+}
+
+/// Copy the fault-tolerance knobs onto a runner::RunSpec (templated so this
+/// header needs no runner dependency; any struct with the same field names
+/// works).
+template <typename Spec>
+inline void apply_fault_args(Spec& spec, const HarnessArgs& a) {
+  spec.retries = a.retries;
+  spec.trial_cycle_budget = a.trial_cycle_budget;
+  spec.trial_wall_budget = a.trial_wall_budget;
+  spec.verify_reset = a.verify_reset;
+  spec.fault_plan = a.fault_plan;
 }
 
 /// --metrics-out convention: the extension picks the format.

@@ -147,6 +147,7 @@ int main(int argc, char** argv) {
         spec.adaptive = adaptive;
         spec.confidence_threshold = sweep.threshold;
         spec.batch_budget = sweep.budget;
+        bench::apply_fault_args(spec, args);
         cells.push_back({attack, factor, adaptive, {}});
         specs.push_back(spec);
       }

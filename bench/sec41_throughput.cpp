@@ -58,6 +58,9 @@ int main(int argc, char** argv) {
   kaslr.rounds = 3;
   kaslr.base_seed = 101;
 
+  for (runner::RunSpec* spec : {&cc, &md, &rsb, &kaslr})
+    bench::apply_fault_args(*spec, args);
+
   runner::Executor ex(args.jobs);
   const auto results = runner::run_many({cc, md, rsb, kaslr}, ex,
                                         args.progress);

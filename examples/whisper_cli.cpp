@@ -8,10 +8,23 @@
 //   whisper_cli kaslr   [--cpu N] [--kpti] [--flare] [--seed S]
 //                       [--trials T] [--jobs J] [--json PATH]
 //                       [--noise PROFILE] [--adaptive]
+//                       [--retries R] [--trial-cycle-budget C]
+//                       [--trial-wall-budget SECONDS] [--fault-plan PLAN]
+//                       [--verify-reset]
 //                       [--trace-out PATH] [--metrics-out PATH]
+//   whisper_cli chaos   [--attack NAME] [--cpu N] [--trials T] [--jobs J]
+//                       [--seed S] [--retries R] [--fault-plan PLAN]
+//                       [--trial-cycle-budget C] [--json PATH]
 //   whisper_cli matrix  [--jobs J]
 //   whisper_cli attacks                 (also: --list-attacks anywhere)
 //   whisper_cli models
+//
+// `chaos` is the fault-tolerance self-test: it runs the same spec twice —
+// once clean, once under a seeded --fault-plan (see src/fault/fault.h for
+// the plan grammar) with --retries enabled — then asserts the faulted run
+// recovered every trial and is bit-identical to the clean one. Exit 0 only
+// on full recovery; the per-class error counts are printed either way.
+// The same fault flags work on `kaslr` sweeps.
 //
 // Attack NAMEs come from core::attack_registry() — `whisper_cli attacks`
 // lists them; anything registered there is runnable here, including through
@@ -32,6 +45,7 @@
 // ("Inspecting a run") walks through both.
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -70,6 +84,16 @@ uarch::CpuModel cpu_from(const Args& args) {
   const int n = std::stoi(args.value("--cpu", "1"));
   const auto models = uarch::all_models();
   return models[static_cast<std::size_t>(n) % models.size()];
+}
+
+/// Fault-tolerance knobs shared by every runner-backed command.
+void apply_fault_flags(runner::RunSpec& spec, const Args& args) {
+  spec.retries = std::stoi(args.value("--retries", "0"));
+  spec.trial_cycle_budget =
+      std::stoull(args.value("--trial-cycle-budget", "0"));
+  spec.trial_wall_budget = std::stod(args.value("--trial-wall-budget", "0"));
+  spec.fault_plan = args.value("--fault-plan", "");
+  spec.verify_reset = args.has("--verify-reset");
 }
 
 bool write_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
@@ -279,6 +303,7 @@ int cmd_kaslr(const Args& args) {
     spec.noise = *p;
   spec.adaptive = args.has("--adaptive");
   spec.collect_trace = !trace_out.empty();
+  apply_fault_flags(spec, args);
   const int jobs = std::stoi(args.value("--jobs", "1"));
   const auto r = runner::run(spec, jobs, /*progress=*/true);
   std::printf("TET-KASLR sweep: %s\n", spec.label().c_str());
@@ -288,6 +313,10 @@ int cmd_kaslr(const Args& args) {
               r.seconds.min, r.seconds.max);
   std::printf("  %zu probes total; host wall %.2f s with %d jobs\n",
               r.total_probes, r.wall_seconds, r.jobs);
+  if (r.failed || r.retried || r.quarantined)
+    std::printf("  fault layer: %zu/%zu completed, %zu retried, "
+                "%zu quarantined, %zu degraded\n",
+                r.completed, r.attempted, r.retried, r.quarantined, r.failed);
   const std::string json = args.value("--json", "");
   if (!json.empty() && runner::write_json_file(r, json))
     std::printf("  trajectory written to %s\n", json.c_str());
@@ -300,6 +329,86 @@ int cmd_kaslr(const Args& args) {
     write_metrics(runner::to_metrics(r), metrics_out);
   }
   return r.all_succeeded() ? 0 : 1;
+}
+
+/// Field-by-field trial comparison for the chaos self-test — the CLI-side
+/// mirror of tests/test_runner.cpp's expect_identical.
+bool trial_identical(const runner::TrialResult& a,
+                     const runner::TrialResult& b) {
+  return a.seed == b.seed && a.success == b.success && a.cycles == b.cycles &&
+         a.seconds == b.seconds && a.probes == b.probes &&
+         a.bytes == b.bytes && a.byte_errors == b.byte_errors &&
+         a.found_slot == b.found_slot && a.confidence == b.confidence &&
+         a.gave_up == b.gave_up && a.tote.buckets() == b.tote.buckets() &&
+         a.pmu == b.pmu;
+}
+
+int cmd_chaos(const Args& args) {
+  runner::RunSpec spec;
+  spec.model = cpu_from(args);
+  spec.attack = args.value("--attack", "cc");
+  spec.trials = std::stoi(args.value("--trials", "12"));
+  spec.base_seed = std::stoull(args.value("--seed", "12648430"));
+  spec.payload_bytes = 4;
+  spec.batches = 2;
+  spec.rounds = 2;
+  spec.retries = std::stoi(args.value("--retries", "2"));
+  spec.trial_cycle_budget =
+      std::stoull(args.value("--trial-cycle-budget", "1000000000"));
+  spec.trial_wall_budget = std::stod(args.value("--trial-wall-budget", "0"));
+  spec.fault_plan =
+      args.value("--fault-plan", "throw@2;corrupt@5;stall@8");
+  const int jobs = std::stoi(args.value("--jobs", "4"));
+
+  runner::RunSpec clean = spec;
+  clean.fault_plan.clear();
+
+  std::printf("chaos: %s under plan \"%s\" (retries %d, jobs %d)\n",
+              spec.label().c_str(), spec.fault_plan.c_str(), spec.retries,
+              jobs);
+  const runner::RunResult faulted = runner::run(spec, jobs);
+  const runner::RunResult reference = runner::run(clean, jobs);
+
+  std::printf("  attempted %zu, completed %zu, failed %zu, retried %zu, "
+              "quarantined %zu, attempts %zu\n",
+              faulted.attempted, faulted.completed, faulted.failed,
+              faulted.retried, faulted.quarantined, faulted.total_attempts);
+  std::printf("  errors by class:");
+  for (std::size_t k = 0; k < runner::kNumTrialErrorKinds; ++k)
+    std::printf(" %s=%zu",
+                runner::to_string(static_cast<runner::TrialErrorKind>(k)),
+                faulted.error_counts[k]);
+  std::printf("\n");
+
+  bool ok = true;
+  if (faulted.failed != 0) {
+    std::printf("  FAIL: %zu trial(s) degraded — retries did not recover\n",
+                faulted.failed);
+    ok = false;
+  }
+  if (faulted.trials.size() != reference.trials.size()) {
+    std::printf("  FAIL: trial count mismatch vs clean run\n");
+    ok = false;
+  } else {
+    for (std::size_t i = 0; i < faulted.trials.size(); ++i)
+      if (!trial_identical(faulted.trials[i], reference.trials[i])) {
+        std::printf("  FAIL: trial %zu differs from the clean run\n", i);
+        ok = false;
+      }
+  }
+  if (faulted.tote.buckets() != reference.tote.buckets()) {
+    std::printf("  FAIL: merged ToTE histogram differs from the clean run\n");
+    ok = false;
+  }
+  if (ok)
+    std::printf("  recovered %zu/%zu trials; results bit-identical to the "
+                "clean run\n",
+                faulted.completed, faulted.attempted);
+
+  const std::string json = args.value("--json", "");
+  if (!json.empty() && runner::write_json_file(faulted, json))
+    std::printf("  faulted-run trajectory written to %s\n", json.c_str());
+  return ok ? 0 : 1;
 }
 
 int cmd_matrix(const Args& args) {
@@ -342,7 +451,7 @@ int cmd_matrix(const Args& args) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   Args args;
   for (int i = 2; i < argc; ++i) args.positional.emplace_back(argv[i]);
   const std::string cmd = argc > 1 ? argv[1] : "";
@@ -353,10 +462,16 @@ int main(int argc, char** argv) {
   if (cmd == "tote") return cmd_tote(args);
   if (cmd == "leak") return cmd_leak(args);
   if (cmd == "kaslr") return cmd_kaslr(args);
+  if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "matrix") return cmd_matrix(args);
   std::fprintf(stderr,
-               "usage: whisper_cli <models|tote|leak|kaslr|matrix|attacks> "
-               "[options]\n  see the header comment of examples/"
+               "usage: whisper_cli <models|tote|leak|kaslr|chaos|matrix|"
+               "attacks> [options]\n  see the header comment of examples/"
                "whisper_cli.cpp\n");
+  return 2;
+} catch (const std::exception& e) {
+  // Spec/plan validation errors (bad --attack, malformed --fault-plan, ...)
+  // should read as a usage message, not a terminate() backtrace.
+  std::fprintf(stderr, "whisper_cli: %s\n", e.what());
   return 2;
 }

@@ -16,6 +16,8 @@
 #      shared set (--noise-profile, --attacks, ...).
 #   6. Same for the extra flags bench/perf_baseline.cpp parses
 #      (--attacks, --trials, ...).
+#   7. Same for every flag examples/whisper_cli.cpp parses (--fault-plan,
+#      --retries, ...) — the CLI is the guide's primary entry point.
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -90,6 +92,18 @@ for flag in $perf_flags; do
   fi
 done
 
+# whisper_cli's flag set (shared harness flags plus the fault-tolerance
+# knobs) must be documented too.
+cli_flags=$(grep -oE '"--[a-z-]+"' "$root/examples/whisper_cli.cpp" |
+            tr -d '"' | sort -u)
+for flag in $cli_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: examples/whisper_cli.cpp parses $flag but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -103,6 +117,7 @@ if [[ $fail -eq 0 ]]; then
   echo "OK: $(echo "$documented" | wc -w) documented harnesses," \
        "$(echo "$harnesses" | wc -w) bench sources," \
        "$(echo "$flags" | wc -w)+$(echo "$sweep_flags" | wc -w)+$(echo \
-       "$perf_flags" | wc -w) harness flags, all in sync"
+       "$perf_flags" | wc -w)+$(echo "$cli_flags" | wc -w) harness+cli" \
+       "flags, all in sync"
 fi
 exit $fail

@@ -4,11 +4,39 @@
 
 namespace whisper::core {
 
+void Attack::checkpoint() {
+  if (opt_.checkpoint_hook) opt_.checkpoint_hook(m_);
+  if (opt_.cycle_budget != 0) {
+    const std::uint64_t used = m_.core().cycle() - run_start_cycle_;
+    if (used > opt_.cycle_budget)
+      throw BudgetExceeded(
+          BudgetExceeded::Kind::kCycles,
+          "attack '" + name_ + "': simulated-cycle budget exceeded (" +
+              std::to_string(used) + " > " +
+              std::to_string(opt_.cycle_budget) + " cycles)");
+  }
+  if (opt_.wall_budget_seconds > 0.0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      run_start_wall_)
+            .count();
+    if (elapsed > opt_.wall_budget_seconds)
+      throw BudgetExceeded(
+          BudgetExceeded::Kind::kWallClock,
+          "attack '" + name_ + "': wall-clock watchdog fired after " +
+              std::to_string(elapsed) + "s (budget " +
+              std::to_string(opt_.wall_budget_seconds) + "s)");
+  }
+}
+
 AttackResult Attack::run(std::span<const std::uint8_t> payload) {
   AttackResult r;
   r.attack = name_;
 
   const std::uint64_t start = m_.core().cycle();
+  run_start_cycle_ = start;
+  run_start_wall_ = std::chrono::steady_clock::now();
+  checkpoint();
   execute(payload, r);
   r.cycles = m_.core().cycle() - start;
   r.seconds = m_.seconds(r.cycles);
@@ -28,6 +56,7 @@ std::uint8_t Attack::decode_adaptive(AttackResult& r, ArgmaxAnalyzer& an,
   int done = 0;
   const auto run_n = [&](int n) {
     for (int i = 0; i < n; ++i) {
+      checkpoint();
       run_batch();
       an.end_batch();
       ++done;

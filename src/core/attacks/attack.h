@@ -24,11 +24,13 @@
 // instead of being reported as silently wrong.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,32 @@ struct AttackOptions {
   double confidence_threshold = 0.5;
   /// Total batch cap per byte under `adaptive`; 0 = 8× the initial count.
   int batch_budget = 0;
+
+  /// Fault-tolerance budgets, checked at every checkpoint() run() and the
+  /// decode loops hit (per batch for channels, per sweep round for KASLR).
+  /// A breach throws BudgetExceeded out of run() — the runner turns it into
+  /// a structured TrialError instead of letting a runaway generated program
+  /// wedge a worker. 0 disables the check.
+  std::uint64_t cycle_budget = 0;        // simulated cycles per run()
+  double wall_budget_seconds = 0.0;      // host wall clock per run()
+  /// Test/fault-injection hook invoked at every checkpoint before the
+  /// budget checks (whisper::fault uses it to stall the simulated clock or
+  /// sleep the host thread mid-attack). Null in normal operation.
+  std::function<void(os::Machine&)> checkpoint_hook;
+};
+
+/// Thrown out of Attack::run() when a checkpoint finds a budget breached.
+/// kind() says which clock: the simulated cycle counter (a runaway or
+/// stalled trial) or host wall time (the watchdog).
+class BudgetExceeded : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t { kCycles, kWallClock };
+  BudgetExceeded(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
 };
 
 /// What any attack reports. Channel attacks fill bytes/byte_errors against
@@ -121,11 +149,21 @@ class Attack {
                                int initial,
                                const std::function<void()>& run_batch);
 
+  /// Budget checkpoint: fire the injection hook (if any), then throw
+  /// BudgetExceeded when the attack has burned past its simulated-cycle or
+  /// wall-clock budget. run() checks once on entry; decode_adaptive()
+  /// checks per batch; execute() bodies with their own probe loops (KASLR's
+  /// round sweep) call it per iteration so a wedged loop is bounded too.
+  void checkpoint();
+
   os::Machine& m_;
   AttackOptions opt_;
 
  private:
   std::string name_;
+  // run()-relative budget origins, set on every run() entry.
+  std::uint64_t run_start_cycle_ = 0;
+  std::chrono::steady_clock::time_point run_start_wall_{};
 };
 
 }  // namespace whisper::core

@@ -83,6 +83,7 @@ void TetKaslr::execute(std::span<const std::uint8_t> /*payload*/,
 
   const auto run_rounds = [&](int n) {
     for (int i = 0; i < n; ++i) {
+      checkpoint();  // bound a wedged sweep per round, like per-batch decode
       ++votes[static_cast<std::size_t>(
           first_mapped_slot(sweep_round(probe_offset, double_probe, r)))];
       ++rounds_done;

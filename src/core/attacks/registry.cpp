@@ -65,8 +65,16 @@ std::vector<std::string> attack_names() {
 std::unique_ptr<Attack> make_attack(std::string_view name, os::Machine& m,
                                     const AttackOptions& opt) {
   const AttackInfo* info = find_attack(name);
-  if (!info)
-    throw std::invalid_argument("unknown attack: " + std::string(name));
+  if (!info) {
+    std::string msg = "unknown attack '" + std::string(name) +
+                      "' (registered: ";
+    const std::vector<std::string> names = attack_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) msg += ", ";
+      msg += names[i];
+    }
+    throw std::invalid_argument(msg + ")");
+  }
   return info->make(m, opt);
 }
 

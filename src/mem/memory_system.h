@@ -202,6 +202,14 @@ class MemorySystem {
   void reset(std::uint64_t seed);
   [[nodiscard]] bool snapshotted() const noexcept { return has_baseline_; }
 
+  /// Digest of the architectural memory state (the physical frame set and
+  /// its contents — the part of a reset that must be bit-exact; TLB/cache
+  /// fill state is performance-only). The runner compares this against the
+  /// value captured at snapshot() to detect silent reset drift.
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    return phys_.digest();
+  }
+
  private:
   struct Translation {
     Fault fault = Fault::None;

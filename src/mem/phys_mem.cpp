@@ -102,6 +102,46 @@ std::vector<std::uint8_t> PhysicalMemory::read_bytes(std::uint64_t paddr,
   return out;
 }
 
+std::uint64_t PhysicalMemory::digest() const noexcept {
+  // FNV-1a per frame, mixed with the frame number, then combined with a
+  // commutative sum: slot_of_'s iteration order (and hence allocation
+  // history) cannot leak into the value.
+  std::uint64_t acc = 0;
+  for (const auto& [frame_no, slot] : slot_of_) {
+    std::uint64_t h = 1469598103934665603ull ^ frame_no;
+    const std::uint8_t* f = arena_.data() + std::size_t{slot} * kFrameSize;
+    for (std::uint64_t i = 0; i < kFrameSize; ++i) {
+      h ^= f[i];
+      h *= 1099511628211ull;
+    }
+    // Final avalanche (splitmix64) so per-frame hashes sum without the
+    // low-entropy tails cancelling.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    acc += h;
+  }
+  return acc;
+}
+
+void PhysicalMemory::corrupt_frame_for_test() noexcept {
+  if (slot_of_.empty()) return;
+  std::uint64_t victim_frame = 0;
+  std::uint32_t victim_slot = 0;
+  bool found = false;
+  for (const auto& [frame_no, slot] : slot_of_) {
+    if (!found || frame_no < victim_frame) {
+      victim_frame = frame_no;
+      victim_slot = slot;
+      found = true;
+    }
+  }
+  // Flip directly in the arena: no frame_for_write(), no undo entry.
+  arena_[std::size_t{victim_slot} * kFrameSize] ^= 0xA5;
+}
+
 void PhysicalMemory::snapshot() {
   has_baseline_ = true;
   ++epoch_;

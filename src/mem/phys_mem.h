@@ -60,6 +60,20 @@ class PhysicalMemory {
     return undo_slots_.size() + alloc_since_.size();
   }
 
+  /// Order-independent digest of the live frame set (frame numbers and
+  /// contents). Two memories with the same mapped frames holding the same
+  /// bytes digest equal regardless of allocation order, so the runner can
+  /// compare a reset() machine against its snapshot baseline and detect
+  /// silent drift. Cost is a full scan of live frames — callers cache the
+  /// baseline value rather than recomputing it.
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
+  /// Fault-injection hook: flip one byte of the lowest-numbered live frame,
+  /// bypassing the undo log — reset() cannot restore it, so the corruption
+  /// models exactly the silent snapshot drift digest() exists to catch.
+  /// No-op on an empty memory. Deterministic: same memory, same flip.
+  void corrupt_frame_for_test() noexcept;
+
  private:
   [[nodiscard]] std::uint8_t* frame_for_write(std::uint64_t paddr);
   [[nodiscard]] const std::uint8_t* frame_if_present(

@@ -58,7 +58,10 @@ Machine::Machine(const MachineOptions& opts)
   }
 }
 
-void Machine::snapshot() { mem_->snapshot(); }
+void Machine::snapshot() {
+  mem_->snapshot();
+  baseline_digest_ = mem_->state_digest();
+}
 
 void Machine::reset(std::uint64_t seed) {
   const std::uint64_t eff = seed != 0 ? seed : preset_seed_;

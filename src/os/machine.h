@@ -84,6 +84,18 @@ class Machine {
     return mem_->snapshotted();
   }
 
+  /// Digest of the architectural memory state right now; snapshot() caches
+  /// the baseline value so the runner's fault layer can compare the two
+  /// after every reset() and quarantine a machine whose snapshot has
+  /// silently drifted. Full-frame scan — opt-in per trial, not free.
+  [[nodiscard]] std::uint64_t state_digest() const noexcept {
+    return mem_->state_digest();
+  }
+  /// The digest captured by the last snapshot() (0 before any snapshot).
+  [[nodiscard]] std::uint64_t baseline_digest() const noexcept {
+    return baseline_digest_;
+  }
+
   [[nodiscard]] uarch::Core& core() noexcept { return *core_; }
   [[nodiscard]] mem::MemorySystem& memsys() noexcept { return *mem_; }
   /// The attached interference engine, or nullptr when the profile is off.
@@ -174,6 +186,7 @@ class Machine {
   std::unique_ptr<uarch::Core> core_;
   std::unique_ptr<noise::NoiseEngine> noise_;
   std::unique_ptr<isa::Program> evict_prog_;
+  std::uint64_t baseline_digest_ = 0;
 };
 
 }  // namespace whisper::os

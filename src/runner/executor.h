@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -62,24 +63,61 @@ class Executor {
 
   /// Run fn(i) for every i in [0, n) and return the results in index order.
   /// The result type must be default-constructible (slots are pre-sized).
+  ///
+  /// Exceptions never cross the ThreadPool boundary: each invocation is
+  /// wrapped here, identically on the sequential and pooled paths. If the
+  /// result type exposes `capture_unhandled(const std::string&)` (as the
+  /// runner's per-trial record does), an escaped exception is captured into
+  /// that item's pre-sized slot — the trial fails as data and the map keeps
+  /// going. Otherwise every item still runs, and map() rethrows a
+  /// std::runtime_error naming the first failure once the fan-out drains.
   template <typename Fn>
   auto map(std::size_t n, Fn&& fn, Progress* progress = nullptr)
       -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
     using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    constexpr bool kCaptures = requires(R& slot, const std::string& what) {
+      slot.capture_unhandled(what);
+    };
     std::vector<R> results(n);
-    if (!pool_ || n <= 1) {
-      for (std::size_t i = 0; i < n; ++i) {
+    std::atomic<std::size_t> escaped{0};
+    std::mutex err_mu;
+    std::string first_error;
+    const auto invoke = [&](std::size_t i) {
+      try {
         results[i] = fn(i);
-        if (progress) progress->tick();
+      } catch (...) {
+        std::string what = "unknown exception";
+        try {
+          throw;
+        } catch (const std::exception& e) {
+          what = e.what();
+        } catch (...) {
+        }
+        if constexpr (kCaptures) {
+          results[i].capture_unhandled(what);
+        } else {
+          if (escaped.fetch_add(1) == 0) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            first_error = std::move(what);
+          }
+        }
       }
-      return results;
+      if (progress) progress->tick();
+    };
+    if (!pool_ || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) invoke(i);
+    } else {
+      for (std::size_t i = 0; i < n; ++i)
+        pool_->submit([&invoke, i] { invoke(i); });
+      pool_->wait_idle();
     }
-    for (std::size_t i = 0; i < n; ++i)
-      pool_->submit([&results, &fn, progress, i] {
-        results[i] = fn(i);
-        if (progress) progress->tick();
-      });
-    pool_->wait_idle();
+    if constexpr (!kCaptures) {
+      if (const std::size_t k = escaped.load(); k > 0) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        throw std::runtime_error("Executor::map: " + std::to_string(k) +
+                                 " task(s) threw; first: " + first_error);
+      }
+    }
     return results;
   }
 

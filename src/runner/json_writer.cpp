@@ -110,6 +110,16 @@ std::string to_json(const RunResult& r) {
   w.value(r.spec.confidence_threshold);
   w.key("batch_budget");
   w.value(r.spec.batch_budget);
+  w.key("retries");
+  w.value(r.spec.retries);
+  w.key("trial_cycle_budget");
+  w.value(r.spec.trial_cycle_budget);
+  w.key("trial_wall_budget");
+  w.value(r.spec.trial_wall_budget);
+  w.key("verify_reset");
+  w.value(r.spec.verify_reset);
+  w.key("fault_plan");
+  w.value(r.spec.fault_plan);
   w.end_object();
 
   w.key("jobs");
@@ -126,6 +136,28 @@ std::string to_json(const RunResult& r) {
   w.value(static_cast<std::uint64_t>(r.total_byte_errors));
   w.key("total_gave_up");
   w.value(static_cast<std::uint64_t>(r.total_gave_up));
+  w.key("fault");
+  w.begin_object();
+  w.key("attempted");
+  w.value(static_cast<std::uint64_t>(r.attempted));
+  w.key("completed");
+  w.value(static_cast<std::uint64_t>(r.completed));
+  w.key("failed");
+  w.value(static_cast<std::uint64_t>(r.failed));
+  w.key("retried");
+  w.value(static_cast<std::uint64_t>(r.retried));
+  w.key("quarantined");
+  w.value(static_cast<std::uint64_t>(r.quarantined));
+  w.key("total_attempts");
+  w.value(static_cast<std::uint64_t>(r.total_attempts));
+  w.key("errors");
+  w.begin_object();
+  for (std::size_t k = 0; k < kNumTrialErrorKinds; ++k) {
+    w.key(to_string(static_cast<TrialErrorKind>(k)));
+    w.value(static_cast<std::uint64_t>(r.error_counts[k]));
+  }
+  w.end_object();
+  w.end_object();
   w.key("sim_seconds");
   write_summary(w, r.seconds);
   w.key("confidence");
@@ -137,8 +169,33 @@ std::string to_json(const RunResult& r) {
 
   w.key("trials_detail");
   w.begin_array();
-  for (const TrialResult& t : r.trials) {
+  for (std::size_t i = 0; i < r.trials.size(); ++i) {
+    const TrialResult& t = r.trials[i];
     w.begin_object();
+    // Fault-layer account (outcomes is index-aligned with trials when the
+    // result came from run()/run_many(); hand-built results may omit it).
+    if (i < r.outcomes.size()) {
+      const TrialOutcome& oc = r.outcomes[i];
+      w.key("ok");
+      w.value(oc.ok);
+      w.key("attempts");
+      w.value(oc.attempts);
+      w.key("quarantined");
+      w.value(oc.quarantined);
+      w.key("errors");
+      w.begin_array();
+      for (const TrialError& e : oc.errors) {
+        w.begin_object();
+        w.key("kind");
+        w.value(std::string(to_string(e.kind)));
+        w.key("attempt");
+        w.value(e.attempt);
+        w.key("what");
+        w.value(e.what);
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.key("seed");
     w.value(t.seed);
     w.key("success");

@@ -1,13 +1,18 @@
 #include "runner/runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <iterator>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/attacks/registry.h"
+#include "fault/fault.h"
 #include "os/machine.h"
 #include "stats/rng.h"
 
@@ -27,8 +32,17 @@ std::vector<std::uint8_t> payload_bytes(const RunSpec& spec) {
 
 const core::AttackInfo& attack_info_or_throw(const std::string& name) {
   const core::AttackInfo* info = core::find_attack(name);
-  if (info == nullptr)
-    throw std::invalid_argument("runner: unknown attack '" + name + "'");
+  if (info == nullptr) {
+    // List the valid keys: "unknown attack 'kalsr'" with no hint at the
+    // registry vocabulary was a recurring trap.
+    std::string msg = "runner: unknown attack '" + name + "' (registered: ";
+    const std::vector<std::string> names = core::attack_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) msg += ", ";
+      msg += names[i];
+    }
+    throw std::invalid_argument(msg + ")");
+  }
   return *info;
 }
 
@@ -89,7 +103,58 @@ os::Machine& pooled_machine(const RunSpec& spec, std::uint64_t seed) {
   return *tl_machines.front().machine;
 }
 
+/// Quarantine: drop this worker's pooled machine for `spec` (its reset()
+/// no longer reproduces the snapshot). The next pooled_machine() call for
+/// the key rebuilds from scratch.
+void quarantine_pooled(const RunSpec& spec) {
+  const std::string key = machine_key(spec);
+  for (auto it = tl_machines.begin(); it != tl_machines.end(); ++it) {
+    if (it->key == key) {
+      tl_machines.erase(it);
+      return;
+    }
+  }
+}
+
 }  // namespace
+
+const char* to_string(TrialErrorKind k) noexcept {
+  switch (k) {
+    case TrialErrorKind::kException: return "exception";
+    case TrialErrorKind::kCycleBudget: return "cycle_budget";
+    case TrialErrorKind::kWatchdog: return "watchdog";
+    case TrialErrorKind::kResetDrift: return "reset_drift";
+    case TrialErrorKind::kDegraded: return "degraded";
+  }
+  return "?";
+}
+
+void TrialOutcome::capture_unhandled(const std::string& what) {
+  ok = false;
+  if (attempts < 1) attempts = 1;
+  errors.push_back(TrialError{TrialErrorKind::kException, attempts - 1,
+                              "runner: escaped trial wrapper: " + what, "",
+                              0});
+}
+
+void validate(const RunSpec& spec) {
+  (void)attack_info_or_throw(spec.attack);
+  if (spec.retries < 0)
+    throw std::invalid_argument("runner: retries must be >= 0");
+  if (spec.trial_wall_budget < 0.0)
+    throw std::invalid_argument("runner: trial_wall_budget must be >= 0");
+  // Parse (and thereby validate) the fault plan; grammar errors surface
+  // here, before any trial is scheduled.
+  const fault::FaultPlan plan = fault::FaultPlan::parse(spec.fault_plan);
+  if (plan.uses(fault::Kind::kStall) && spec.trial_cycle_budget == 0)
+    throw std::invalid_argument(
+        "runner: fault plan injects 'stall' but trial_cycle_budget is 0 — "
+        "nothing would bound the stalled trial");
+  if (plan.uses(fault::Kind::kSleep) && spec.trial_wall_budget <= 0.0)
+    throw std::invalid_argument(
+        "runner: fault plan injects 'sleep' but trial_wall_budget is 0 — "
+        "nothing would bound the sleeping trial");
+}
 
 std::string RunSpec::label() const {
   std::string out = "tet-";
@@ -122,18 +187,38 @@ os::MachineOptions machine_options(const RunSpec& spec, std::uint64_t seed) {
 
 namespace {
 
+/// Detach the event log on every exit path — an attack aborted by a budget
+/// breach must not leave the core tracing into a dead TrialResult.
+class TraceGuard {
+ public:
+  TraceGuard(os::Machine& m, obs::EventLog* log) : m_(m), attached_(log) {
+    if (attached_) m_.core().set_trace(attached_);
+  }
+  ~TraceGuard() {
+    if (attached_) m_.core().set_trace(nullptr);
+  }
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  os::Machine& m_;
+  obs::EventLog* attached_;
+};
+
 /// The attack phase shared by both trial paths: `m` is either freshly
 /// constructed or freshly reset() — by this point the two are
-/// indistinguishable.
+/// indistinguishable. `hook` (usually null) is the fault layer's
+/// checkpoint injection.
 TrialResult attack_phase(const RunSpec& spec, const core::AttackInfo& info,
-                         std::uint64_t seed, os::Machine& m) {
+                         std::uint64_t seed, os::Machine& m,
+                         const std::function<void(os::Machine&)>& hook = {}) {
   TrialResult t;
   t.seed = seed;
 
   // Observability: PMU deltas (and optionally the full event log) over the
   // attack phase. Attaching the log must not perturb the run —
   // tests/test_obs.cpp checks the results stay byte-identical.
-  if (spec.collect_trace) m.core().set_trace(&t.events);
+  TraceGuard trace(m, spec.collect_trace ? &t.events : nullptr);
   const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
 
   core::AttackOptions opt;
@@ -144,6 +229,9 @@ TrialResult attack_phase(const RunSpec& spec, const core::AttackInfo& info,
   opt.adaptive = spec.adaptive;
   opt.confidence_threshold = spec.confidence_threshold;
   opt.batch_budget = spec.batch_budget;
+  opt.cycle_budget = spec.trial_cycle_budget;
+  opt.wall_budget_seconds = spec.trial_wall_budget;
+  opt.checkpoint_hook = hook;
 
   const std::unique_ptr<core::Attack> atk = info.make(m, opt);
   std::vector<std::uint8_t> payload;
@@ -163,7 +251,6 @@ TrialResult attack_phase(const RunSpec& spec, const core::AttackInfo& info,
 
   t.pmu = uarch::pmu_delta(pmu_before, m.core().pmu().snapshot());
   t.topdown = obs::attribute_cycles(t.pmu);
-  if (spec.collect_trace) m.core().set_trace(nullptr);
   return t;
 }
 
@@ -184,47 +271,180 @@ TrialResult run_trial(const RunSpec& spec, std::uint64_t seed,
 
 namespace {
 
+/// Signals a pooled machine whose post-reset() digest no longer matches its
+/// snapshot baseline; the retry loop treats it as "machine quarantined, try
+/// again fresh".
+struct ResetDriftError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// What one scheduled trial hands back through Executor::map: the result
+/// slot plus the fault-layer account. Exceptions become entries in
+/// outcome.errors — they never cross the pool boundary.
+struct TrialRun {
+  TrialResult result;
+  TrialOutcome outcome;
+
+  /// Executor::map's last-resort hook (see TrialOutcome).
+  void capture_unhandled(const std::string& what) {
+    outcome.capture_unhandled(what);
+  }
+};
+
+/// Build the checkpoint hook injecting this attempt's stall/sleep faults.
+/// Fire-once: the first checkpoint of the attack phase trips it, the budget
+/// check right after turns it into a BudgetExceeded.
+std::function<void(os::Machine&)> make_fault_hook(
+    const RunSpec& spec, std::size_t index, int attempt,
+    const fault::FaultPlan& plan) {
+  const bool stall = plan.fires(fault::Kind::kStall, index, attempt);
+  const bool sleep = plan.fires(fault::Kind::kSleep, index, attempt);
+  if (!stall && !sleep) return {};
+  const std::uint64_t stall_cycles = spec.trial_cycle_budget + 1;
+  const double sleep_seconds = spec.trial_wall_budget + 0.05;
+  auto fired = std::make_shared<bool>(false);
+  return [stall, sleep, stall_cycles, sleep_seconds, fired](os::Machine& m) {
+    if (*fired) return;
+    *fired = true;
+    if (stall) m.advance_time(stall_cycles);
+    if (sleep)
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  };
+}
+
+/// One attempt of one trial. Throws on failure: ResetDriftError (after
+/// quarantining the pooled machine), core::BudgetExceeded, or whatever the
+/// attack itself threw.
+TrialResult attempt_trial(const RunSpec& spec, const core::AttackInfo& info,
+                          std::uint64_t seed, std::size_t index, int attempt,
+                          const fault::FaultPlan& plan, bool verify,
+                          bool force_fresh, TrialOutcome& outcome) {
+  if (plan.fires(fault::Kind::kThrow, index, attempt))
+    throw std::runtime_error("fault: injected throw (trial " +
+                             std::to_string(index) + ", attempt " +
+                             std::to_string(attempt) + ")");
+  const std::function<void(os::Machine&)> hook =
+      make_fault_hook(spec, index, attempt, plan);
+
+  if (spec.reuse_machine && !force_fresh) {
+    os::Machine& m = pooled_machine(spec, seed);
+    m.reset(seed);
+    if (plan.fires(fault::Kind::kCorrupt, index, attempt))
+      m.memsys().phys().corrupt_frame_for_test();
+    if (verify && m.state_digest() != m.baseline_digest()) {
+      quarantine_pooled(spec);
+      outcome.quarantined = true;
+      throw ResetDriftError(
+          "runner: pooled machine failed the post-reset() state digest "
+          "check (trial " + std::to_string(index) + ", attempt " +
+          std::to_string(attempt) + "); machine quarantined");
+    }
+    return attack_phase(spec, info, seed, m, hook);
+  }
+  os::Machine m(machine_options(spec, seed));
+  return attack_phase(spec, info, seed, m, hook);
+}
+
 /// One trial of `spec` as run()/run_many() schedule it: seed and payload
-/// stream both derived from the trial index. The per-trial seed is computed
-/// before either path touches a Machine, so fresh and pooled trials see the
-/// same schedule by construction.
-TrialResult run_indexed_trial(const RunSpec& spec, std::size_t i) {
+/// stream both derived from the trial index, identically for every attempt
+/// — a retry replays the same (seed, payload) coordinates, which is what
+/// keeps a recovered run bit-identical to an unfailed one. All failure
+/// paths end as TrialError records; nothing escapes.
+TrialRun run_indexed_trial(const RunSpec& spec, std::size_t i,
+                           const fault::FaultPlan& plan, bool verify) {
   RunSpec per_trial = spec;
   // Decorrelate the payload stream per trial alongside the seed.
   per_trial.payload_seed = spec.payload_seed ^ i;
   const std::uint64_t seed = trial_seed(spec.base_seed, i);
-  if (spec.reuse_machine)
-    return run_trial(per_trial, seed, pooled_machine(per_trial, seed));
-  return run_trial(per_trial, seed);
+  const core::AttackInfo& info = attack_info_or_throw(spec.attack);
+
+  TrialRun run;
+  run.result.seed = seed;
+  const int max_attempts = 1 + std::max(0, spec.retries);
+  const auto record = [&](TrialErrorKind kind, int attempt,
+                          const char* what) {
+    run.outcome.errors.push_back(
+        TrialError{kind, attempt, what, spec.attack, seed});
+  };
+  bool force_fresh = false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    run.outcome.attempts = attempt + 1;
+    try {
+      run.result = attempt_trial(per_trial, info, seed, i, attempt, plan,
+                                 verify, force_fresh, run.outcome);
+      run.outcome.ok = true;
+      return run;
+    } catch (const core::BudgetExceeded& e) {
+      record(e.kind() == core::BudgetExceeded::Kind::kCycles
+                 ? TrialErrorKind::kCycleBudget
+                 : TrialErrorKind::kWatchdog,
+             attempt, e.what());
+    } catch (const ResetDriftError& e) {
+      record(TrialErrorKind::kResetDrift, attempt, e.what());
+      force_fresh = true;  // the pooled path just proved untrustworthy
+    } catch (const std::exception& e) {
+      record(TrialErrorKind::kException, attempt, e.what());
+    }
+  }
+  // Every attempt failed: the trial degrades to an empty result slot that
+  // the merge step skips. Seed stays filled so the slot is identifiable.
+  run.result = TrialResult{};
+  run.result.seed = seed;
+  run.outcome.ok = false;
+  run.outcome.errors.push_back(TrialError{
+      TrialErrorKind::kDegraded, max_attempts - 1,
+      "trial degraded: no attempt out of " + std::to_string(max_attempts) +
+          " succeeded",
+      spec.attack, seed});
+  return run;
 }
 
 /// The merge step: fold per-trial results, strictly in trial index order.
+/// Degraded trials keep their (empty) slot but contribute nothing to the
+/// merged statistics — an all-failed run yields zeroed summaries and an
+/// empty tote histogram, never a throw from empty-histogram accessors.
 RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
-                       std::vector<TrialResult> trials) {
+                       std::vector<TrialRun> runs) {
   RunResult out;
   out.spec = spec;
   out.jobs = jobs;
   out.wall_seconds = wall_seconds;
-  out.trials = std::move(trials);
+  out.trials.reserve(runs.size());
+  out.outcomes.reserve(runs.size());
   std::vector<double> secs;
   std::vector<double> confs;
-  secs.reserve(out.trials.size());
-  confs.reserve(out.trials.size());
-  for (const TrialResult& t : out.trials) {
-    out.successes += t.success ? 1 : 0;
-    out.total_probes += t.probes;
-    out.total_bytes += t.bytes;
-    out.total_byte_errors += t.byte_errors;
-    out.total_gave_up += t.gave_up;
-    out.cycles.add(static_cast<double>(t.cycles));
-    out.tote.merge(t.tote);
-    for (std::size_t e = 0; e < uarch::kNumPmuEvents; ++e)
-      out.pmu[e] += t.pmu[e];
-    out.topdown.merge(t.topdown);
-    out.events.append(t.events);
-    secs.push_back(t.seconds);
-    confs.push_back(t.confidence);
+  secs.reserve(runs.size());
+  confs.reserve(runs.size());
+  for (TrialRun& tr : runs) {
+    const TrialResult& t = tr.result;
+    const TrialOutcome& oc = tr.outcome;
+    out.total_attempts += static_cast<std::size_t>(std::max(1, oc.attempts));
+    if (oc.quarantined) ++out.quarantined;
+    for (const TrialError& e : oc.errors)
+      ++out.error_counts[static_cast<std::size_t>(e.kind)];
+    if (oc.ok) {
+      ++out.completed;
+      if (oc.attempts > 1) ++out.retried;
+      out.successes += t.success ? 1 : 0;
+      out.total_probes += t.probes;
+      out.total_bytes += t.bytes;
+      out.total_byte_errors += t.byte_errors;
+      out.total_gave_up += t.gave_up;
+      out.cycles.add(static_cast<double>(t.cycles));
+      out.tote.merge(t.tote);
+      for (std::size_t e = 0; e < uarch::kNumPmuEvents; ++e)
+        out.pmu[e] += t.pmu[e];
+      out.topdown.merge(t.topdown);
+      out.events.append(t.events);
+      secs.push_back(t.seconds);
+      confs.push_back(t.confidence);
+    } else {
+      ++out.failed;
+    }
+    out.trials.push_back(std::move(tr.result));
+    out.outcomes.push_back(std::move(tr.outcome));
   }
+  out.attempted = out.trials.size();
   out.seconds = stats::summarize(std::span<const double>(secs));
   out.confidence = stats::summarize(std::span<const double>(confs));
   return out;
@@ -252,17 +472,37 @@ obs::MetricsRegistry to_metrics(const RunResult& r,
   reg.import_summary(prefix + "sim_seconds", r.seconds);
   reg.import_summary(prefix + "confidence", r.confidence);
   reg.add_histogram(prefix + "tote", r.tote);
+
+  // Failure accounting: attempted/completed/failed plus per-class error
+  // counts, so a degraded run is fully visible in --metrics-out too.
+  reg.set_counter(prefix + "run.attempted", r.attempted);
+  reg.set_counter(prefix + "run.completed", r.completed);
+  reg.set_counter(prefix + "run.failed", r.failed);
+  reg.set_counter(prefix + "run.retried", r.retried);
+  reg.set_counter(prefix + "run.quarantined", r.quarantined);
+  reg.set_counter(prefix + "run.attempts", r.total_attempts);
+  for (std::size_t k = 0; k < kNumTrialErrorKinds; ++k)
+    reg.set_counter(
+        prefix + "run.errors." + to_string(static_cast<TrialErrorKind>(k)),
+        r.error_counts[k]);
   return reg;
 }
 
 RunResult run(const RunSpec& spec, Executor& ex, bool progress) {
-  (void)attack_info_or_throw(spec.attack);  // fail before the fan-out
+  validate(spec);  // fail before the fan-out: zero trials spawned
+  const fault::FaultPlan plan = fault::FaultPlan::parse(spec.fault_plan);
+  // Injected corruption is pointless unverified, so an active fault plan
+  // forces the digest check on.
+  const bool verify = spec.verify_reset || !plan.empty();
   const std::size_t n =
       spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
   Progress meter(spec.label(), n, progress);
   WallTimer timer;
-  std::vector<TrialResult> trials = ex.map(
-      n, [&spec](std::size_t i) { return run_indexed_trial(spec, i); },
+  std::vector<TrialRun> trials = ex.map(
+      n,
+      [&spec, &plan, verify](std::size_t i) {
+        return run_indexed_trial(spec, i, plan, verify);
+      },
       &meter);
   const double wall = timer.seconds();
   meter.finish(wall, ex.jobs());
@@ -276,8 +516,15 @@ RunResult run(const RunSpec& spec, int jobs, bool progress) {
 
 std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
                                 Executor& ex, bool progress) {
-  for (const RunSpec& spec : specs)
-    (void)attack_info_or_throw(spec.attack);  // fail before the fan-out
+  std::vector<fault::FaultPlan> plans;
+  std::vector<char> verify;
+  plans.reserve(specs.size());
+  verify.reserve(specs.size());
+  for (const RunSpec& spec : specs) {
+    validate(spec);  // fail before the fan-out: zero trials spawned
+    plans.push_back(fault::FaultPlan::parse(spec.fault_plan));
+    verify.push_back(spec.verify_reset || !plans.back().empty() ? 1 : 0);
+  }
   // Flatten every (spec, trial) pair into one task list so a matrix of
   // small cells still fills the pool.
   struct Task {
@@ -294,11 +541,12 @@ std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
   Progress meter("runner: " + std::to_string(specs.size()) + " specs",
                  tasks.size(), progress);
   WallTimer timer;
-  std::vector<TrialResult> flat = ex.map(
+  std::vector<TrialRun> flat = ex.map(
       tasks.size(),
       [&](std::size_t k) {
-        return run_indexed_trial(specs[tasks[k].spec_idx],
-                                 tasks[k].trial_idx);
+        const std::size_t s = tasks[k].spec_idx;
+        return run_indexed_trial(specs[s], tasks[k].trial_idx, plans[s],
+                                 verify[s] != 0);
       },
       &meter);
   const double wall = timer.seconds();
@@ -310,8 +558,10 @@ std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
   for (const RunSpec& spec : specs) {
     const std::size_t n =
         spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
-    std::vector<TrialResult> trials(flat.begin() + next,
-                                    flat.begin() + next + n);
+    std::vector<TrialRun> trials(
+        std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(next)),
+        std::make_move_iterator(flat.begin() +
+                                static_cast<std::ptrdiff_t>(next + n)));
     next += n;
     out.push_back(merge_trials(spec, ex.jobs(), wall, std::move(trials)));
   }

@@ -24,6 +24,8 @@
 // trajectories.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -85,8 +87,74 @@ struct RunSpec {
   /// against each other by flipping it.
   bool reuse_machine = true;
 
+  // --- Fault tolerance (docs/ARCHITECTURE.md "Failure semantics") ---------
+  /// Extra attempts per failed trial. Retries reuse the trial's own
+  /// trial_seed/payload_seed, so a recovered run is bit-identical to one
+  /// that never failed.
+  int retries = 0;
+  /// Simulated-cycle cap per trial attempt; a breach becomes a
+  /// TrialErrorKind::kCycleBudget error instead of a runaway trial. 0 = off.
+  std::uint64_t trial_cycle_budget = 0;
+  /// Host wall-clock watchdog per trial attempt, in seconds; a breach
+  /// becomes TrialErrorKind::kWatchdog. 0 = off.
+  double trial_wall_budget = 0.0;
+  /// Compare each pooled machine's post-reset() state digest against its
+  /// snapshot baseline; a mismatch quarantines the machine (kResetDrift)
+  /// and the retry falls back to fresh construction. Costs a full frame
+  /// scan per trial, so off by default — forced on while a fault plan is
+  /// active (corruption injection is pointless unverified).
+  bool verify_reset = false;
+  /// fault::FaultPlan spec ("throw@2;corrupt@5;stall@8", see fault/fault.h)
+  /// injected into this run's trials. Empty = no injection.
+  std::string fault_plan;
+
   /// Human-readable "attack @ model ×trials" label for progress lines.
   [[nodiscard]] std::string label() const;
+};
+
+/// Validate a spec without running it: unknown attack names (the message
+/// lists the registered keys), malformed fault plans, negative retries, and
+/// stall/sleep injections with no budget to trip all throw
+/// std::invalid_argument. run()/run_many() call this before the fan-out, so
+/// a bad spec fails fast with zero trials spawned.
+void validate(const RunSpec& spec);
+
+/// Why a trial attempt failed. One TrialError is recorded per failed
+/// attempt; the enum is the JSON/metrics vocabulary ("run.errors.<name>").
+enum class TrialErrorKind : std::uint8_t {
+  kException,    // an exception escaped the trial (captured what())
+  kCycleBudget,  // simulated-cycle budget exceeded (core::BudgetExceeded)
+  kWatchdog,     // host wall-clock watchdog fired
+  kResetDrift,   // pooled machine failed the post-reset() digest check
+  kDegraded,     // every attempt failed; the trial's result slot is empty
+};
+inline constexpr std::size_t kNumTrialErrorKinds = 5;
+[[nodiscard]] const char* to_string(TrialErrorKind k) noexcept;
+
+struct TrialError {
+  TrialErrorKind kind = TrialErrorKind::kException;
+  int attempt = 0;       // which attempt failed (0 = first)
+  std::string what;      // captured exception/budget message
+  std::string attack;    // registry name, for flattened run_many logs
+  std::uint64_t seed = 0;  // the trial_seed of the failing trial
+};
+
+/// Fault-layer account of one scheduled trial: how many attempts ran,
+/// whether one succeeded, and every error on the way. Index-aligned with
+/// RunResult::trials; trials-as-data is what crosses the ThreadPool
+/// boundary — exceptions never do.
+struct TrialOutcome {
+  bool ok = false;
+  int attempts = 0;
+  /// A pooled machine failed its digest check during this trial and was
+  /// evicted from the worker's pool.
+  bool quarantined = false;
+  std::vector<TrialError> errors;
+
+  /// Executor::map hook: invoked when an exception escapes the trial
+  /// wrapper itself (a harness bug, not an attack failure) so the slot
+  /// still records it as data.
+  void capture_unhandled(const std::string& what);
 };
 
 /// What one trial produced. Channel attacks fill bytes/byte_errors; KASLR
@@ -118,11 +186,18 @@ struct TrialResult {
 };
 
 /// A finished RunSpec: the ordered per-trial results plus the merged view.
+/// `trials` always has one slot per scheduled trial; a trial whose every
+/// attempt failed keeps a default slot (seed filled in) and is excluded
+/// from the merged statistics — `outcomes` says which and why, so an
+/// all-failed run is still a valid, fully-accounted RunResult rather than
+/// a crash inside the merge.
 struct RunResult {
   RunSpec spec;
   int jobs = 1;
   double wall_seconds = 0.0;  // host wall clock for the whole fan-out
   std::vector<TrialResult> trials;
+  /// Fault-layer account, index-aligned with `trials`.
+  std::vector<TrialOutcome> outcomes;
 
   // Merge step (always folded in trial index order):
   std::size_t successes = 0;
@@ -138,9 +213,21 @@ struct RunResult {
   obs::TopDown topdown;       // per-trial attributions, bucket-summed
   obs::EventLog events;       // per-trial logs, appended in index order
 
+  // Failure accounting (folded from `outcomes`):
+  std::size_t attempted = 0;      // trials scheduled (== trials.size())
+  std::size_t completed = 0;      // trials that produced a result
+  std::size_t failed = 0;         // trials degraded after every attempt
+  std::size_t retried = 0;        // trials that needed more than one attempt
+  std::size_t quarantined = 0;    // trials that evicted a pooled machine
+  std::size_t total_attempts = 0;  // attempts across all trials
+  /// Errors by class, indexed by TrialErrorKind.
+  std::array<std::size_t, kNumTrialErrorKinds> error_counts{};
+
   [[nodiscard]] bool all_succeeded() const noexcept {
     return successes == trials.size();
   }
+  /// Every scheduled trial produced a result (possibly after retries).
+  [[nodiscard]] bool all_completed() const noexcept { return failed == 0; }
 };
 
 /// Everything a finished run measured, as one named-metric registry:

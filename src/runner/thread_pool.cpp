@@ -42,7 +42,14 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // The Executor wraps every user callable, so nothing should arrive
+      // here — but an escaped exception must not skip the in_flight_
+      // decrement (wait_idle() would hang forever) or unwind out of the
+      // worker thread (std::terminate). Swallow and keep serving.
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -25,8 +25,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task. Tasks must not throw; a trial's failure is data, not an
-  /// exception (the Executor wraps user callables accordingly).
+  /// Enqueue a task. A trial's failure is data, not an exception — the
+  /// Executor wraps user callables so their exceptions are captured into
+  /// the trial's result slot. Should one escape anyway, the worker loop
+  /// swallows it (keeping the in-flight accounting intact) rather than
+  /// letting it unwind the thread into std::terminate.
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has run to completion.
