@@ -10,7 +10,7 @@
 //                       [--noise PROFILE] [--adaptive]
 //                       [--retries R] [--trial-cycle-budget C]
 //                       [--trial-wall-budget SECONDS] [--fault-plan PLAN]
-//                       [--verify-reset]
+//                       [--verify-reset] [--no-fast-forward]
 //                       [--trace-out PATH] [--metrics-out PATH]
 //   whisper_cli chaos   [--attack NAME] [--cpu N] [--trials T] [--jobs J]
 //                       [--seed S] [--retries R] [--fault-plan PLAN]
@@ -43,6 +43,12 @@
 // writes every counter the run touched as an obs::MetricsRegistry export
 // (JSON, or CSV when the path ends in .csv). docs/REPRODUCING.md
 // ("Inspecting a run") walks through both.
+//
+// Fast-forward (docs/PERFORMANCE.md) is on by default everywhere: the core
+// skips provably inert cycle spans with results byte-identical to the
+// cycle-by-cycle pipeline. --no-fast-forward forces the structural path
+// (accepted by every command; --fast-forward restates the default). Use it
+// only to cross-check identity or to profile the full pipeline walk.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -86,6 +92,12 @@ uarch::CpuModel cpu_from(const Args& args) {
   return models[static_cast<std::size_t>(n) % models.size()];
 }
 
+/// --no-fast-forward wins over the (default) --fast-forward; both are
+/// accepted so scripts can be explicit either way.
+bool fast_forward_from(const Args& args) {
+  return !args.has("--no-fast-forward");
+}
+
 /// Fault-tolerance knobs shared by every runner-backed command.
 void apply_fault_flags(runner::RunSpec& spec, const Args& args) {
   spec.retries = std::stoi(args.value("--retries", "0"));
@@ -94,6 +106,7 @@ void apply_fault_flags(runner::RunSpec& spec, const Args& args) {
   spec.trial_wall_budget = std::stod(args.value("--trial-wall-budget", "0"));
   spec.fault_plan = args.value("--fault-plan", "");
   spec.verify_reset = args.has("--verify-reset");
+  spec.fast_forward = fast_forward_from(args);
 }
 
 bool write_metrics(const obs::MetricsRegistry& reg, const std::string& path) {
@@ -139,6 +152,7 @@ int cmd_models() {
 
 int cmd_tote(const Args& args) {
   os::Machine m({.model = cpu_from(args)});
+  m.core().set_fast_forward(fast_forward_from(args));
   m.poke8(os::Machine::kSharedBase, 'S');
   const auto g = core::make_tet_gadget(
       {.window = core::preferred_window(m.config()),
@@ -204,6 +218,7 @@ int cmd_leak(const Args& args) {
   }
   mo.noise = *profile;
   os::Machine m(mo);
+  m.core().set_fast_forward(fast_forward_from(args));
 
   const std::string secret_str = args.value("--secret", "hunter2");
   const std::vector<std::uint8_t> secret(secret_str.begin(),
@@ -264,6 +279,7 @@ int cmd_kaslr(const Args& args) {
             args.value("--noise", "off")))
       opts.noise = *p;
     os::Machine m(opts);
+    m.core().set_fast_forward(fast_forward_from(args));
     obs::EventLog log;
     if (!trace_out.empty()) m.core().set_trace(&log);
     const uarch::PmuSnapshot pmu_before = m.core().pmu().snapshot();
@@ -358,6 +374,7 @@ int cmd_chaos(const Args& args) {
   spec.trial_wall_budget = std::stod(args.value("--trial-wall-budget", "0"));
   spec.fault_plan =
       args.value("--fault-plan", "throw@2;corrupt@5;stall@8");
+  spec.fast_forward = fast_forward_from(args);
   const int jobs = std::stoi(args.value("--jobs", "4"));
 
   runner::RunSpec clean = spec;
@@ -427,6 +444,7 @@ int cmd_matrix(const Args& args) {
       spec.payload_bytes = 4;
       spec.batches = 4;
       spec.rounds = 2;
+      spec.fast_forward = fast_forward_from(args);
       specs.push_back(spec);
     }
 

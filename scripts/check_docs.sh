@@ -18,6 +18,11 @@
 #      (--attacks, --trials, ...).
 #   7. Same for every flag examples/whisper_cli.cpp parses (--fault-plan,
 #      --retries, ...) — the CLI is the guide's primary entry point.
+#   8. docs/PERFORMANCE.md must exist and document every measurement-cell
+#      and speedup key bench/perf_baseline.cpp writes into BENCH_perf.json
+#      (fresh_jobs1, reset_jobs1, ff_jobs1, reset_jobsN, speedup,
+#      ff_speedup, ...) — the column glossary may not drift from the
+#      harness's actual output keys.
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -26,10 +31,16 @@ set -u
 root="${1:-.}"
 build="${2:-}"
 guide="$root/docs/REPRODUCING.md"
+perf_doc="$root/docs/PERFORMANCE.md"
 fail=0
 
 if [[ ! -f "$guide" ]]; then
   echo "FAIL: $guide does not exist"
+  exit 1
+fi
+
+if [[ ! -f "$perf_doc" ]]; then
+  echo "FAIL: $perf_doc does not exist"
   exit 1
 fi
 
@@ -104,6 +115,22 @@ for flag in $cli_flags; do
   fi
 done
 
+# The BENCH_perf.json column glossary in docs/PERFORMANCE.md must cover
+# every measurement-cell / speedup key perf_baseline.cpp actually emits
+# (the keys containing "_jobs" or "speedup" — the per-cell scalars inside
+# each cell, wall_seconds etc., ride along with them).
+perf_cols=$(grep -oE 'w\.key\("[A-Za-z_0-9]+"\)' \
+            "$root/bench/perf_baseline.cpp" |
+            sed 's/.*"\([^"]*\)".*/\1/' | grep -E '_jobs|speedup' |
+            sort -u)
+for col in $perf_cols; do
+  if ! grep -q -- "\`$col\`" "$perf_doc"; then
+    echo "FAIL: bench/perf_baseline.cpp writes BENCH_perf.json key" \
+         "'$col' but docs/PERFORMANCE.md does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -118,6 +145,6 @@ if [[ $fail -eq 0 ]]; then
        "$(echo "$harnesses" | wc -w) bench sources," \
        "$(echo "$flags" | wc -w)+$(echo "$sweep_flags" | wc -w)+$(echo \
        "$perf_flags" | wc -w)+$(echo "$cli_flags" | wc -w) harness+cli" \
-       "flags, all in sync"
+       "flags, $(echo "$perf_cols" | wc -w) perf columns, all in sync"
 fi
 exit $fail

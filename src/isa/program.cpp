@@ -5,9 +5,38 @@
 
 namespace whisper::isa {
 
+namespace {
+
+std::uint64_t content_fnv1a(const std::vector<Instruction>& code) {
+  constexpr std::uint64_t kBasis = 0xcbf29ce484222325ull;
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t h = kBasis;
+  auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  mix(code.size());
+  for (const Instruction& in : code) {
+    mix(static_cast<std::uint64_t>(in.op) |
+        (static_cast<std::uint64_t>(in.dst) << 8) |
+        (static_cast<std::uint64_t>(in.src) << 16) |
+        (static_cast<std::uint64_t>(in.base) << 24) |
+        (static_cast<std::uint64_t>(in.cond) << 32));
+    mix(static_cast<std::uint64_t>(in.imm));
+    mix(static_cast<std::uint64_t>(in.disp));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(in.target)));
+  }
+  return h;
+}
+
+}  // namespace
+
 Program::Program(std::vector<Instruction> code,
                  std::map<std::string, int> labels)
-    : code_(std::move(code)), labels_(std::move(labels)) {
+    : code_(std::move(code)), labels_(std::move(labels)),
+      hash_(content_fnv1a(code_)) {
   validate();
 }
 

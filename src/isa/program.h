@@ -35,9 +35,18 @@ class Program {
   /// Throws std::invalid_argument on malformed code.
   void validate() const;
 
+  /// Content identity: FNV-1a over the semantic instruction fields (labels
+  /// excluded — they are assembly-time names, not behaviour). Two programs
+  /// with equal hashes decode identically, which is what the core's
+  /// per-program decode cache keys on across trials that rebuild the same
+  /// attack program into fresh Program objects. Computed eagerly at
+  /// construction; the default-constructed empty program hashes to 0.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept { return hash_; }
+
  private:
   std::vector<Instruction> code_;
   std::map<std::string, int> labels_;
+  std::uint64_t hash_ = 0;
 };
 
 }  // namespace whisper::isa

@@ -50,20 +50,21 @@ MemorySystem::Translation MemorySystem::translate(std::uint64_t vaddr,
     return Fault::None;
   };
 
-  if (auto hit = first.lookup(vaddr)) {
+  if (const TlbEntry* hit = first.lookup_ref(vaddr)) {
     t.tlb_hit = true;
     const int shift = hit->size == PageSize::k4K ? 12 : 21;
     t.paddr = (hit->pfn << shift) | (vaddr & ((1ull << shift) - 1));
     t.fault = classify(hit->flags);
     return t;
   }
-  if (auto hit = stlb_.lookup(vaddr)) {
+  if (const TlbEntry* hit = stlb_.lookup_ref(vaddr)) {
     t.latency += cfg_.stlb_latency;
-    if (sink_) sink_->on_stlb_hit();
+    count(MemCounter::kStlbHits);
     const int shift = hit->size == PageSize::k4K ? 12 : 21;
     t.paddr = (hit->pfn << shift) | (vaddr & ((1ull << shift) - 1));
     t.fault = classify(hit->flags);
-    // Promote to the first-level TLB.
+    // Promote to the first-level TLB. `hit` points into the STLB, which
+    // first.insert never touches, so the read below stays valid.
     const std::uint64_t page_mask = ~((1ull << shift) - 1);
     first.insert(vaddr, t.paddr & page_mask, hit->flags, hit->size);
     return t;
@@ -118,13 +119,13 @@ MemorySystem::Translation MemorySystem::translate(std::uint64_t vaddr,
     }
   }
   t.latency += t.walk_cycles;
-  if (sink_) {
-    if (type == AccessType::Fetch) {
-      sink_->on_itlb_walk_cycles(t.walk_cycles);
-    } else {
-      sink_->on_dtlb_miss_walk(t.walks);
-      sink_->on_dtlb_walk_cycles(t.walk_cycles);
-    }
+  if (type == AccessType::Fetch) {
+    count(MemCounter::kItlbWalkCycles,
+          static_cast<std::uint64_t>(t.walk_cycles));
+  } else {
+    count(MemCounter::kDtlbMissWalks, static_cast<std::uint64_t>(t.walks));
+    count(MemCounter::kDtlbWalkCycles,
+          static_cast<std::uint64_t>(t.walk_cycles));
   }
   return t;
 }
@@ -132,24 +133,24 @@ MemorySystem::Translation MemorySystem::translate(std::uint64_t vaddr,
 int MemorySystem::cache_access(std::uint64_t paddr, AccessResult& out) {
   if (l1_.access(paddr)) {
     out.cache_level = 1;
-    if (sink_) sink_->on_cache_hit(1);
+    count(MemCounter::kL1Hit);
     return cfg_.l1_latency;
   }
   if (l2_.access(paddr)) {
     out.cache_level = 2;
-    if (sink_) sink_->on_cache_hit(2);
+    count(MemCounter::kL2Hit);
     l1_.fill(paddr);
     return cfg_.l2_latency;
   }
   if (l3_.access(paddr)) {
     out.cache_level = 3;
-    if (sink_) sink_->on_cache_hit(3);
+    count(MemCounter::kL3Hit);
     l2_.fill(paddr);
     l1_.fill(paddr);
     return cfg_.l3_latency;
   }
   out.cache_level = 4;
-  if (sink_) sink_->on_dram_access();
+  count(MemCounter::kDram);
   l3_.fill(paddr);
   l2_.fill(paddr);
   l1_.fill(paddr);

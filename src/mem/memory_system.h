@@ -116,17 +116,26 @@ class MemInterference {
   virtual int on_access(const AccessRequest& req, const AccessResult& res) = 0;
 };
 
-/// Sink for memory-side PMU events; implemented by uarch::Pmu.
-class MemEventSink {
- public:
-  virtual ~MemEventSink() = default;
-  virtual void on_dtlb_miss_walk(int walks) = 0;
-  virtual void on_dtlb_walk_cycles(int cycles) = 0;
-  virtual void on_itlb_walk_cycles(int cycles) = 0;
-  virtual void on_stlb_hit() = 0;
-  virtual void on_cache_hit(int level) = 0;
-  virtual void on_dram_access() = 0;
+/// Memory-side PMU counters, devirtualized: instead of virtual-dispatching
+/// each TLB/cache event into uarch::Pmu, the MemorySystem bumps raw
+/// std::uint64_t slots in a caller-provided window (set_counter_window).
+/// uarch::Pmu lays its memory-subsystem events out contiguously in exactly
+/// this order and hands the core a pointer to the first one, so every event
+/// on the hot hit path is a single add — no vtable, no switch.
+enum class MemCounter : std::size_t {
+  kDtlbMissWalks = 0,  // walks initiated by data-side TLB misses
+  kDtlbWalkCycles,     // cycles the walker was active for data accesses
+  kItlbWalkCycles,     // cycles the walker was active for instruction probes
+  kStlbHits,           // second-level TLB hits
+  kL1Hit,
+  kL2Hit,
+  kL3Hit,
+  kDram,
+  Count,
 };
+
+inline constexpr std::size_t kNumMemCounters =
+    static_cast<std::size_t>(MemCounter::Count);
 
 class MemorySystem {
  public:
@@ -136,8 +145,11 @@ class MemorySystem {
   void set_page_table(const PageTable* pt);
   [[nodiscard]] const PageTable* page_table() const noexcept { return pt_; }
 
-  /// Optional PMU sink (not owned); may be null.
-  void set_event_sink(MemEventSink* sink) noexcept { sink_ = sink; }
+  /// Optional PMU counter window (not owned); may be null. Must point to at
+  /// least kNumMemCounters slots laid out per MemCounter.
+  void set_counter_window(std::uint64_t* counters) noexcept {
+    counters_ = counters;
+  }
 
   /// Optional interference source (not owned); may be null. With none
   /// attached the hook is a branch on a null pointer — attaching and never
@@ -229,9 +241,13 @@ class MemorySystem {
   /// Paging-structure-cache hits for this vaddr (0..3 upper levels).
   int psc_lookup_and_fill(std::uint64_t vaddr);
 
+  void count(MemCounter c, std::uint64_t n = 1) noexcept {
+    if (counters_) counters_[static_cast<std::size_t>(c)] += n;
+  }
+
   MemConfig cfg_;
   const PageTable* pt_ = nullptr;
-  MemEventSink* sink_ = nullptr;
+  std::uint64_t* counters_ = nullptr;
   MemInterference* noise_ = nullptr;
 
   PhysicalMemory phys_;

@@ -43,6 +43,14 @@ std::optional<TlbEntry> Tlb::lookup(std::uint64_t vaddr) {
   return std::nullopt;
 }
 
+const TlbEntry* Tlb::lookup_ref(std::uint64_t vaddr) {
+  if (Way* way = find(vaddr)) {
+    way->lru = ++tick_;
+    return &way->entry;
+  }
+  return nullptr;
+}
+
 bool Tlb::contains(std::uint64_t vaddr) const { return find(vaddr) != nullptr; }
 
 void Tlb::insert(std::uint64_t vaddr, std::uint64_t paddr, PteFlags flags,

@@ -32,6 +32,11 @@ class Tlb {
   /// Look up a translation; updates LRU on hit.
   [[nodiscard]] std::optional<TlbEntry> lookup(std::uint64_t vaddr);
 
+  /// Hot-path variant of lookup(): same LRU update, but returns a pointer
+  /// into the TLB instead of copying the entry (nullptr on miss). The
+  /// pointer is invalidated by any subsequent insert/flush/reset.
+  [[nodiscard]] const TlbEntry* lookup_ref(std::uint64_t vaddr);
+
   /// Probe without disturbing LRU (for tests / PMU introspection).
   [[nodiscard]] bool contains(std::uint64_t vaddr) const;
 

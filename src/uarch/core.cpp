@@ -90,10 +90,181 @@ constexpr std::int32_t kInstrBlock = 8;  // instructions per DSB/fetch block
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// RobRing
+// ---------------------------------------------------------------------------
+
+void Core::RobRing::grow() {
+  const std::size_t new_cap = buf_.empty() ? kInitialCap : buf_.size() * 2;
+  std::vector<RobEntry> nbuf(new_cap);
+  std::vector<EntryState> nstate(new_cap);
+  std::vector<std::uint64_t> ncomplete(new_cap);
+  std::vector<std::uint64_t> nseq(new_cap);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t p = (head_ + i) & mask_;
+    nbuf[i] = std::move(buf_[p]);
+    nstate[i] = state_[p];
+    ncomplete[i] = complete_[p];
+    nseq[i] = seq_[p];
+  }
+  buf_ = std::move(nbuf);
+  state_ = std::move(nstate);
+  complete_ = std::move(ncomplete);
+  seq_ = std::move(nseq);
+  head_ = 0;
+  mask_ = new_cap - 1;
+}
+
+void Core::RobRing::push_back(RobEntry e) {
+  if (size_ == buf_.size()) grow();
+  const std::size_t p = (head_ + size_) & mask_;
+  state_[p] = e.state;
+  complete_[p] = e.complete_at;
+  seq_[p] = e.seq;
+  buf_[p] = std::move(e);
+  ++size_;
+}
+
+Core::RobEntry* Core::RobRing::by_seq(std::uint64_t seq) noexcept {
+  std::size_t lo = 0;
+  std::size_t hi = size_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const std::size_t p = (head_ + mid) & mask_;
+    const std::uint64_t s = seq_[p];
+    if (s == seq) return &buf_[p];
+    if (s < seq)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Census / rename bookkeeping
+// ---------------------------------------------------------------------------
+
+void Core::account_alloc(ThreadCtx& ctx, const RobEntry& e) {
+  ++ctx.waiting_count;
+  const Instruction& in = e.inst;
+  if (in.is_fence()) ctx.fence_seqs.push_back(e.seq);
+  if (in.is_store()) ++ctx.pending_stores;
+  if (in.op == Opcode::Clflush) ++ctx.pending_clflush;
+  if (in.op == Opcode::Jcc) ++ctx.pending_jcc;
+  if (in.op == Opcode::Ret) ++ctx.pending_ret;
+}
+
+void Core::account_issue(ThreadCtx& ctx, const RobEntry& e) {
+  --ctx.waiting_count;
+  if (e.inst.is_load()) ++ctx.issued_loads;
+}
+
+void Core::account_done(ThreadCtx& ctx, const RobEntry& e) {
+  ++ctx.done_count;
+  const Instruction& in = e.inst;
+  if (in.is_load()) --ctx.issued_loads;
+  if (in.is_fence()) {
+    assert(!ctx.fence_seqs.empty() && ctx.fence_seqs.front() == e.seq);
+    ctx.fence_seqs.erase(ctx.fence_seqs.begin());
+  }
+  if (in.is_store()) --ctx.pending_stores;
+  if (in.op == Opcode::Clflush) --ctx.pending_clflush;
+  if (in.op == Opcode::Jcc) --ctx.pending_jcc;
+  if (in.op == Opcode::Ret) --ctx.pending_ret;
+}
+
+void Core::account_remove(ThreadCtx& ctx, const RobEntry& e) {
+  switch (e.state) {
+    case EntryState::Waiting: --ctx.waiting_count; break;
+    case EntryState::Issued:
+      if (e.inst.is_load()) --ctx.issued_loads;
+      break;
+    case EntryState::Done: --ctx.done_count; break;
+  }
+  if (e.state != EntryState::Done) {
+    const Instruction& in = e.inst;
+    if (in.is_fence()) {
+      assert(!ctx.fence_seqs.empty() && ctx.fence_seqs.back() == e.seq);
+      ctx.fence_seqs.pop_back();
+    }
+    if (in.is_store()) --ctx.pending_stores;
+    if (in.op == Opcode::Clflush) --ctx.pending_clflush;
+    if (in.op == Opcode::Jcc) --ctx.pending_jcc;
+    if (in.op == Opcode::Ret) --ctx.pending_ret;
+  }
+  if (e.fault != mem::Fault::None) --ctx.pending_faults;
+}
+
+void Core::unrename(ThreadCtx& ctx, const RobEntry& e) {
+  // Restore the map values this entry displaced. Squashes pop youngest-
+  // first, so the checkpoints unwind in exact reverse-allocation order.
+  // A restored value may reference an entry that retired in the meantime;
+  // such a stale seq reads identically to 0 everywhere (architectural
+  // value, ready, untainted).
+  if (e.writes_reg &&
+      ctx.reg_writer[static_cast<std::size_t>(e.dst)] == e.seq)
+    ctx.reg_writer[static_cast<std::size_t>(e.dst)] = e.prev_reg_writer;
+  if (e.writes_flags && ctx.flags_writer == e.seq)
+    ctx.flags_writer = e.prev_flags_writer;
+}
+
+// ---------------------------------------------------------------------------
+// Decode cache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Core::DecodedProgram> Core::decoded_for(
+    const isa::Program& prog) {
+  const std::uint64_t key = prog.content_hash();
+  for (std::size_t i = 0; i < decode_cache_.size(); ++i) {
+    if (decode_cache_[i].first == key) {
+      ++decode_stats_.hits;
+      if (i != 0)
+        std::rotate(decode_cache_.begin(), decode_cache_.begin() + i,
+                    decode_cache_.begin() + i + 1);
+      return decode_cache_.front().second;
+    }
+  }
+  ++decode_stats_.misses;
+  auto dp = std::make_shared<DecodedProgram>();
+  dp->insts.reserve(prog.code().size());
+  for (const Instruction& in : prog.code()) {
+    DecodedInst di;
+    di.src_a = reg_a(in);
+    di.src_b = reg_b(in);
+    di.dst = reg_written(in);
+    di.uops = static_cast<std::int8_t>(in.uops());
+    di.writes_flags = in.writes_flags();
+    dp->insts.push_back(di);
+  }
+  decode_cache_.insert(decode_cache_.begin(), {key, dp});
+  if (decode_cache_.size() > kDecodeCacheCap) decode_cache_.pop_back();
+  return dp;
+}
+
 Core::Core(const CpuConfig& cfg, mem::MemorySystem& mem)
     : cfg_(cfg), mem_(mem), pmu_(cfg.vendor), bpu_(cfg),
       rng_(cfg.seed ^ 0xc04e5eedULL) {
-  mem_.set_event_sink(&pmu_);
+  mem_.set_counter_window(pmu_.mem_counter_window());
+}
+
+void Core::recycle(ThreadCtx& ctx) {
+  RobRing rob = std::move(ctx.rob);
+  Ring<IdqEntry> idq = std::move(ctx.idq);
+  std::unordered_set<std::int32_t> dsb = std::move(ctx.dsb_blocks);
+  std::vector<std::uint64_t> tsc = std::move(ctx.tsc_out);
+  std::vector<std::uint64_t> fences = std::move(ctx.fence_seqs);
+  rob.clear();
+  idq.clear();
+  dsb.clear();
+  tsc.clear();
+  fences.clear();
+  ctx = ThreadCtx{};
+  ctx.rob = std::move(rob);
+  ctx.idq = std::move(idq);
+  ctx.dsb_blocks = std::move(dsb);
+  ctx.tsc_out = std::move(tsc);
+  ctx.fence_seqs = std::move(fences);
 }
 
 void Core::reset(std::uint64_t seed) {
@@ -106,7 +277,7 @@ void Core::reset(std::uint64_t seed) {
   avx_warm_until_ = 0;
   shared_frontend_busy_until_ = 0;
   nthreads_ = 1;
-  for (ThreadCtx& ctx : ctx_) ctx = ThreadCtx{};
+  for (ThreadCtx& ctx : ctx_) recycle(ctx);
   last_prog_ = {};
   for (auto& dsb : persistent_dsb_) dsb.clear();
   issued_uops_this_cycle_ = 0;
@@ -116,16 +287,17 @@ void Core::reset(std::uint64_t seed) {
 RunResult Core::run(const isa::Program& prog, const InitState& init,
                     std::uint64_t cycle_limit) {
   nthreads_ = 1;
-  ctx_[0] = ThreadCtx{};
+  recycle(ctx_[0]);
   ctx_[0].active = true;
   ctx_[0].prog = &prog;
+  ctx_[0].dec = decoded_for(prog);
   ctx_[0].regs = init.regs;
   ctx_[0].flags = init.flags;
   ctx_[0].user_mode = init.user_mode;
   ctx_[0].signal_handler = init.signal_handler;
   ctx_[0].code_base = init.code_base;
   if (last_prog_[0] == &prog) ctx_[0].dsb_blocks = std::move(persistent_dsb_[0]);
-  ctx_[1] = ThreadCtx{};
+  recycle(ctx_[1]);
   RunResult r = run_internal(cycle_limit);
   last_prog_[0] = &prog;
   persistent_dsb_[0] = std::move(ctx_[0].dsb_blocks);
@@ -140,9 +312,10 @@ RunResult Core::run_smt(const isa::Program& p0, const InitState& i0,
   for (int t = 0; t < 2; ++t) {
     const isa::Program& p = t == 0 ? p0 : p1;
     const InitState& init = t == 0 ? i0 : i1;
-    ctx_[t] = ThreadCtx{};
+    recycle(ctx_[t]);
     ctx_[t].active = true;
     ctx_[t].prog = &p;
+    ctx_[t].dec = decoded_for(p);
     ctx_[t].regs = init.regs;
     ctx_[t].flags = init.flags;
     ctx_[t].user_mode = init.user_mode;
@@ -169,15 +342,25 @@ RunResult Core::run_internal(std::uint64_t cycle_limit) {
     return true;
   };
 
+  // An interrupt raised by the noise hook while fast-forwarding is carried
+  // here into the next structural cycle, so the hook fires exactly once per
+  // simulated cycle in both modes.
+  std::uint64_t pending_interrupt = 0;
   while (!all_done()) {
     if (cycle_ >= deadline) {
       result.cycle_limit_hit = true;
       break;
     }
+    if (pending_interrupt == 0 && try_fast_forward(deadline, pending_interrupt))
+      continue;
+
     issued_uops_this_cycle_ = 0;
     alloc_uops_this_cycle_ = 0;
 
-    if (noise_) {
+    if (pending_interrupt != 0) {
+      inject_interrupt(pending_interrupt);
+      pending_interrupt = 0;
+    } else if (noise_) {
       const std::uint64_t handler = noise_->on_cycle(cycle_);
       if (handler != 0) inject_interrupt(handler);
     }
@@ -206,6 +389,135 @@ RunResult Core::run_internal(std::uint64_t cycle_limit) {
     tr.regs = ctx_[t].regs;
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Fast-forward
+// ---------------------------------------------------------------------------
+
+bool Core::try_fast_forward(std::uint64_t deadline,
+                            std::uint64_t& pending_interrupt) {
+  // SMT runs always step structurally: the siblings' alternating alloc/fetch
+  // turns and cross-thread front-end stalls make inert spans rare and the
+  // proof obligations heavier, while every covert-channel trial is short.
+  if (!fast_forward_ || nthreads_ != 1) return false;
+  ThreadCtx& ctx = ctx_[0];
+  if (!ctx.active || ctx.halted) return false;
+
+  std::uint64_t horizon = deadline;
+
+  // Retirement acts as soon as the ROB head is Done (including a deferred
+  // fault turning into a machine clear).
+  if (!ctx.rob.empty() && ctx.rob.state_at(0) == EntryState::Done)
+    return false;
+
+  // Completion, forwarding wake-ups and issue eligibility: one sweep over
+  // the SoA mirrors. Any Issued entry already due completes this cycle; any
+  // Waiting entry that passes the (side-effect-free) issue checks would
+  // issue this cycle — port capacity is irrelevant, since every port class
+  // admits at least one uop into an otherwise-empty issue group.
+  const std::size_t n = ctx.rob.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const EntryState s = ctx.rob.state_at(i);
+    if (s == EntryState::Issued) {
+      const std::uint64_t c = ctx.rob.complete_at(i);
+      if (c <= cycle_) return false;
+      if (c < horizon) horizon = c;
+      const std::uint64_t f = ctx.rob[i].forward_at;
+      if (f > cycle_ && f < horizon) horizon = f;
+    } else if (s == EntryState::Waiting && issue_ready(ctx, ctx.rob[i])) {
+      return false;
+    }
+  }
+
+  // Allocation: would step_alloc change anything this cycle, and does it
+  // charge the resource-stall events while blocked?
+  const bool idq_nonempty = !ctx.idq.empty();
+  bool alloc_resource_stall = false;
+  if (cycle_ < ctx.alloc_stall_until) {
+    if (idq_nonempty) {
+      alloc_resource_stall = true;
+      if (ctx.alloc_stall_until < horizon) horizon = ctx.alloc_stall_until;
+    }
+  } else if (idq_nonempty) {
+    if (ctx.idq.front().uops <= cfg_.alloc_width) {
+      if (ctx.rob.size() < static_cast<std::size_t>(cfg_.rob_size) &&
+          ctx.waiting_count < cfg_.rs_size)
+        return false;  // would allocate
+      alloc_resource_stall = true;  // blocked on ROB/RS tokens
+    }
+  }
+
+  // Fetch, mirroring step_fetch's early-out order exactly: the time gate is
+  // checked before the bounds/bubble cases, so a time-gated front end is
+  // inert regardless of them.
+  if (!ctx.fetch_halted) {
+    const std::uint64_t ready =
+        std::max(ctx.frontend_ready_at, shared_frontend_busy_until_);
+    if (cycle_ < ready) {
+      if (ready < horizon) horizon = ready;
+    } else {
+      const auto& code = ctx.prog->code();
+      if (ctx.fetch_pc < 0 ||
+          static_cast<std::size_t>(ctx.fetch_pc) >= code.size())
+        return false;  // would set fetch_halted
+      const std::int32_t first_block = ctx.fetch_pc / kInstrBlock;
+      const bool dsb_cycle =
+          ctx.force_mite == 0 && ctx.dsb_blocks.contains(first_block);
+      if (!dsb_cycle && ctx.pending_mite_bubble)
+        return false;  // would pay the MITE-switch bubble
+      if (ctx.idq.size() < static_cast<std::size_t>(cfg_.idq_size))
+        return false;  // would fetch into the IDQ
+      // IDQ full: the fetch loop breaks before touching any state.
+    }
+  }
+
+  if (horizon <= cycle_) return false;
+
+  // Every skipped cycle charges the same per-cycle PMU vector the structural
+  // loop would: nothing issues, allocates or retires during the span, and
+  // the census inputs below are constant across it (nothing transitions).
+  const bool amd = cfg_.vendor == Vendor::Amd;
+  const bool mem_any = ctx.issued_loads > 0;
+  const bool rs_empty = ctx.waiting_count == 0;
+  const bool idq_empty_amd = amd && ctx.idq.empty();
+
+  auto charge = [&](std::uint64_t span) {
+    pmu_.inc(PmuEvent::CORE_CYCLES, span);
+    pmu_.inc(PmuEvent::UOPS_EXECUTED_STALL_CYCLES, span);
+    pmu_.inc(PmuEvent::UOPS_EXECUTED_CORE_CYCLES_NONE, span);
+    pmu_.inc(PmuEvent::CYCLE_ACTIVITY_STALLS_TOTAL, span);
+    pmu_.inc(PmuEvent::UOPS_ISSUED_STALL_CYCLES, span);
+    if (mem_any) pmu_.inc(PmuEvent::CYCLE_ACTIVITY_CYCLES_MEM_ANY, span);
+    if (rs_empty) pmu_.inc(PmuEvent::RS_EVENTS_EMPTY_CYCLES, span);
+    if (idq_empty_amd) pmu_.inc(PmuEvent::DE_DIS_UOP_QUEUE_EMPTY_DI0, span);
+    if (alloc_resource_stall) {
+      pmu_.inc(PmuEvent::RESOURCE_STALLS_ANY, span);
+      if (amd)
+        pmu_.inc(PmuEvent::DE_DIS_DISPATCH_TOKEN_STALLS2_RETIRE_TOKEN_STALL,
+                 span);
+    }
+  };
+
+  if (!noise_) {
+    charge(horizon - cycle_);
+    cycle_ = horizon;
+    return true;
+  }
+  // With a noise source attached the hook must still run once per cycle
+  // (its schedule is stateful, and it may mutate memory state that the
+  // pipeline doesn't observe during an inert span). An interrupt hands the
+  // cycle back to the structural loop before it is charged or advanced.
+  while (cycle_ < horizon) {
+    const std::uint64_t handler = noise_->on_cycle(cycle_);
+    if (handler != 0) {
+      pending_interrupt = handler;
+      return true;
+    }
+    charge(1);
+    ++cycle_;
+  }
+  return true;
 }
 
 void Core::trace(int thread, TraceEvent event, const RobEntry* e,
@@ -289,7 +601,8 @@ void Core::step_fetch(int t) {
         ctx.force_mite == 0 && ctx.dsb_blocks.contains(block);
     if (in_dsb != dsb_cycle) break;  // path switch: next cycle
     const Instruction& inst = code[static_cast<std::size_t>(ctx.fetch_pc)];
-    const int uops = inst.uops();
+    const int uops =
+        ctx.dec->insts[static_cast<std::size_t>(ctx.fetch_pc)].uops;
     if (uops > budget) break;
 
     IdqEntry fe;
@@ -407,13 +720,10 @@ void Core::step_alloc(int t) {
   }
 
   int budget = cfg_.alloc_width;
-  int waiting = 0;
-  for (const RobEntry& e : ctx.rob)
-    if (e.state == EntryState::Waiting) ++waiting;
 
   while (!ctx.idq.empty() && budget >= ctx.idq.front().uops) {
     if (ctx.rob.size() >= static_cast<std::size_t>(cfg_.rob_size) ||
-        waiting >= cfg_.rs_size) {
+        ctx.waiting_count >= cfg_.rs_size) {
       pmu_.inc(PmuEvent::RESOURCE_STALLS_ANY);
       if (cfg_.vendor == Vendor::Amd)
         pmu_.inc(
@@ -423,6 +733,7 @@ void Core::step_alloc(int t) {
     IdqEntry fe = std::move(ctx.idq.front());
     ctx.idq.pop_front();
 
+    const DecodedInst& di = ctx.dec->insts[static_cast<std::size_t>(fe.pc)];
     RobEntry e;
     e.seq = ctx.next_seq++;
     e.pc = fe.pc;
@@ -432,30 +743,33 @@ void Core::step_alloc(int t) {
     e.predicted_target = fe.predicted_target;
     e.pred_from_rsb = fe.pred_from_rsb;
 
-    // Capture producers: youngest older writer of each operand.
-    auto find_producer = [&](Reg r) -> std::uint64_t {
-      if (r == Reg::None) return 0;
-      for (auto it = ctx.rob.rbegin(); it != ctx.rob.rend(); ++it)
-        if (it->writes_reg && reg_written(it->inst) == r) return it->seq;
-      return 0;
-    };
-    e.prod_a = find_producer(reg_a(e.inst));
-    e.prod_b = find_producer(reg_b(e.inst));
-    if (e.inst.reads_flags()) {
-      for (auto it = ctx.rob.rbegin(); it != ctx.rob.rend(); ++it)
-        if (it->writes_flags) {
-          e.prod_flags = it->seq;
-          break;
-        }
+    // Producers come straight from the rename map: the youngest in-flight
+    // writer of each operand, read before this entry claims the map itself.
+    e.prod_a = di.src_a != Reg::None
+                   ? ctx.reg_writer[static_cast<std::size_t>(di.src_a)]
+                   : 0;
+    e.prod_b = di.src_b != Reg::None
+                   ? ctx.reg_writer[static_cast<std::size_t>(di.src_b)]
+                   : 0;
+    if (e.inst.reads_flags()) e.prod_flags = ctx.flags_writer;
+
+    e.dst = di.dst;
+    e.writes_reg = di.dst != Reg::None;
+    e.writes_flags = di.writes_flags;
+    if (e.writes_reg) {
+      e.prev_reg_writer = ctx.reg_writer[static_cast<std::size_t>(di.dst)];
+      ctx.reg_writer[static_cast<std::size_t>(di.dst)] = e.seq;
     }
-    e.writes_reg = reg_written(e.inst) != Reg::None;
-    e.writes_flags = e.inst.writes_flags();
+    if (e.writes_flags) {
+      e.prev_flags_writer = ctx.flags_writer;
+      ctx.flags_writer = e.seq;
+    }
 
     budget -= e.uops;
     alloc_uops_this_cycle_ += e.uops;
     pmu_.inc(PmuEvent::UOPS_ISSUED_ANY, static_cast<std::uint64_t>(e.uops));
-    ++waiting;
     trace(t, TraceEvent::Alloc, &e);
+    account_alloc(ctx, e);
     ctx.rob.push_back(std::move(e));
   }
 }
@@ -465,17 +779,13 @@ void Core::step_alloc(int t) {
 // ---------------------------------------------------------------------------
 
 Core::RobEntry* Core::find_entry(ThreadCtx& ctx, std::uint64_t seq) {
-  for (RobEntry& e : ctx.rob)
-    if (e.seq == seq) return &e;
-  return nullptr;
+  return ctx.rob.by_seq(seq);
 }
 
 bool Core::operand_ready(ThreadCtx& ctx, std::uint64_t producer) const {
   if (producer == 0) return true;
-  for (const RobEntry& e : ctx.rob) {
-    if (e.seq == producer)
-      return e.state != EntryState::Waiting && cycle_ >= e.forward_at;
-  }
+  if (const RobEntry* e = ctx.rob.by_seq(producer))
+    return e->state != EntryState::Waiting && cycle_ >= e->forward_at;
   return true;  // producer already retired: value is architectural
 }
 
@@ -502,16 +812,17 @@ bool Core::operand_tainted(ThreadCtx& ctx, std::uint64_t producer) {
 }
 
 bool Core::fence_blocks(const ThreadCtx& ctx, std::uint64_t seq) const {
-  for (const RobEntry& e : ctx.rob) {
-    if (e.seq >= seq) break;
-    if (e.inst.is_fence() && e.state != EntryState::Done) return true;
-  }
-  return false;
+  // The fence_seqs census is exactly the non-Done fences in ascending seq
+  // order, so "an older fence is pending" is a front() comparison.
+  return !ctx.fence_seqs.empty() && ctx.fence_seqs.front() < seq;
 }
 
 bool Core::older_window_exists(const ThreadCtx& ctx,
                                std::uint64_t seq) const {
-  for (const RobEntry& e : ctx.rob) {
+  if (ctx.pending_faults == 0 && ctx.pending_ret == 0 && ctx.pending_jcc == 0)
+    return false;
+  for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+    const RobEntry& e = ctx.rob[i];
     if (e.seq >= seq) break;
     if (e.fault != mem::Fault::None) return true;
     if (e.inst.op == Opcode::Ret && e.state != EntryState::Done) return true;
@@ -529,17 +840,71 @@ void Core::step_issue() {
     ThreadCtx& ctx = ctx_[t];
     if (!ctx.active || ctx.halted) continue;
     // Oldest-first scheduling. Entries may be squashed by a resteer mid-
-    // scan, so re-check validity through indices into the deque.
-    for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+    // scan, so re-check validity through indices into the ring. The census
+    // bounds the sweep: once `remaining` Waiting entries have been visited
+    // the tail of the ROB is all Issued/Done and can be skipped. A mid-scan
+    // squash only ever removes Waiting entries, so the snapshot overcounts
+    // at worst (extra harmless iterations, never a missed entry).
+    int remaining = ctx.waiting_count;
+    for (std::size_t i = 0; remaining > 0 && i < ctx.rob.size(); ++i) {
       if (issued >= cfg_.issue_width) break;
-      RobEntry& e = ctx.rob[i];
-      if (e.state != EntryState::Waiting) continue;
-      try_issue_entry(ctx, e, loads, stores, branches, issued);
+      if (ctx.rob.state_at(i) != EntryState::Waiting) continue;
+      --remaining;
+      try_issue_entry(ctx, ctx.rob[i], loads, stores, branches, issued);
       // A branch misprediction squashes younger entries; the loop bound
       // shrinks naturally via ctx.rob.size().
     }
   }
   issued_uops_this_cycle_ = issued;
+}
+
+bool Core::issue_ready(ThreadCtx& ctx, const RobEntry& e) {
+  const Instruction& in = e.inst;
+
+  // Dispatch serialisation: LFENCE/MFENCE block younger issue.
+  if (fence_blocks(ctx, e.seq)) return false;
+
+  // Fences (and RDTSCP's wait-for-older semantics) hold issue until all
+  // older entries complete. `e` itself is non-Done, so more than one
+  // non-Done entry means the scan could find an older one.
+  if (in.is_fence() || in.op == Opcode::Rdtscp) {
+    if (static_cast<int>(ctx.rob.size()) - ctx.done_count > 1) {
+      for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+        const RobEntry& o = ctx.rob[i];
+        if (o.seq >= e.seq) break;
+        if (o.state != EntryState::Done) return false;
+      }
+    }
+  }
+
+  // Loads (and CLFLUSH) wait for older stores to drain, and loads also wait
+  // for older CLFLUSHes — conservative memory disambiguation that gives
+  // store→clflush→ret the paper's ordering (Listing 1).
+  if (in.is_load()) {
+    if (ctx.pending_stores > 0 || ctx.pending_clflush > 0) {
+      for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+        const RobEntry& o = ctx.rob[i];
+        if (o.seq >= e.seq) break;
+        if (o.inst.is_store() && o.state != EntryState::Done) return false;
+        if (o.inst.op == Opcode::Clflush && o.state != EntryState::Done)
+          return false;
+      }
+    }
+  } else if (in.op == Opcode::Clflush) {
+    if (ctx.pending_stores > 0) {
+      for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+        const RobEntry& o = ctx.rob[i];
+        if (o.seq >= e.seq) break;
+        if (o.inst.is_store() && o.state != EntryState::Done) return false;
+      }
+    }
+  }
+
+  // Operand readiness.
+  if (!operand_ready(ctx, e.prod_a) || !operand_ready(ctx, e.prod_b))
+    return false;
+  if (e.inst.reads_flags() && !operand_ready(ctx, e.prod_flags)) return false;
+  return true;
 }
 
 void Core::try_issue_entry(ThreadCtx& ctx, RobEntry& e, int& loads,
@@ -551,49 +916,24 @@ void Core::try_issue_entry(ThreadCtx& ctx, RobEntry& e, int& loads,
   if (in.is_store() && stores >= cfg_.store_ports) return;
   if (in.is_branch() && branches >= cfg_.branch_ports) return;
 
-  // Dispatch serialisation: LFENCE/MFENCE block younger issue.
-  if (fence_blocks(ctx, e.seq)) return;
-
-  // Fences (and RDTSCP's wait-for-older semantics) hold issue until all
-  // older entries complete.
-  if (in.is_fence() || in.op == Opcode::Rdtscp) {
-    for (const RobEntry& o : ctx.rob) {
-      if (o.seq >= e.seq) break;
-      if (o.state != EntryState::Done) return;
-    }
-  }
-
-  // Loads (and CLFLUSH) wait for older stores to drain, and loads also wait
-  // for older CLFLUSHes — conservative memory disambiguation that gives
-  // store→clflush→ret the paper's ordering (Listing 1).
-  if (in.is_load() || in.op == Opcode::Clflush) {
-    for (const RobEntry& o : ctx.rob) {
-      if (o.seq >= e.seq) break;
-      if (o.inst.is_store() && o.state != EntryState::Done) return;
-      if (in.is_load() && o.inst.op == Opcode::Clflush &&
-          o.state != EntryState::Done)
-        return;
-    }
-  }
-
-  // Operand readiness.
-  if (!operand_ready(ctx, e.prod_a) || !operand_ready(ctx, e.prod_b)) return;
-  if (e.inst.reads_flags() && !operand_ready(ctx, e.prod_flags)) return;
+  if (!issue_ready(ctx, e)) return;
 
   // Issue.
-  e.state = EntryState::Issued;
+  ctx.rob.set_state(e, EntryState::Issued);
   trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::Issue, &e);
   issued_uops += e.uops;
   if (in.is_load()) ++loads;
   if (in.is_store()) ++stores;
   if (in.is_branch()) ++branches;
+  account_issue(ctx, e);
   execute_entry(ctx, e);
 }
 
 void Core::execute_entry(ThreadCtx& ctx, RobEntry& e) {
   const Instruction& in = e.inst;
-  const std::uint64_t a = read_operand(ctx, reg_a(in), e.prod_a);
-  const std::uint64_t b = read_operand(ctx, reg_b(in), e.prod_b);
+  const DecodedInst& di = ctx.dec->insts[static_cast<std::size_t>(e.pc)];
+  const std::uint64_t a = read_operand(ctx, di.src_a, e.prod_a);
+  const std::uint64_t b = read_operand(ctx, di.src_b, e.prod_b);
   e.stale_tainted =
       operand_tainted(ctx, e.prod_a) || operand_tainted(ctx, e.prod_b) ||
       (in.reads_flags() && operand_tainted(ctx, e.prod_flags));
@@ -823,15 +1163,18 @@ void Core::execute_entry(ThreadCtx& ctx, RobEntry& e) {
       break;
   }
 
-  e.complete_at = cycle_ + static_cast<std::uint64_t>(latency);
+  ctx.rob.set_complete(e, cycle_ + static_cast<std::uint64_t>(latency));
   if (e.forward_at == 0) e.forward_at = e.complete_at;
 
   // A deferred fault opens a transient window: younger instructions now
   // execute on borrowed time until the fault retires (machine clear) or the
   // opener itself is squashed from a wrong path.
-  if (e.fault != mem::Fault::None && ctx.window_open_seq == 0) {
-    ctx.window_open_seq = e.seq;
-    trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::WindowOpen, &e);
+  if (e.fault != mem::Fault::None) {
+    ++ctx.pending_faults;
+    if (ctx.window_open_seq == 0) {
+      ctx.window_open_seq = e.seq;
+      trace(&ctx == &ctx_[0] ? 0 : 1, TraceEvent::WindowOpen, &e);
+    }
   }
 }
 
@@ -904,11 +1247,12 @@ void Core::handle_transient_shortcuts(ThreadCtx& ctx,
   // initiates the squash early — the faulting load stops replaying its walk
   // and the fault is confirmed immediately (TET-ZBL: trigger => shorter).
   if (branch.stale_tainted) {
-    for (RobEntry& o : ctx.rob) {
+    for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+      RobEntry& o = ctx.rob[i];
       if (o.seq >= branch.seq) break;
       if (o.fault == mem::Fault::NotPresent && o.data_forwarded &&
           o.state == EntryState::Issued && o.complete_at > cycle_ + 1) {
-        o.complete_at = cycle_ + 1;
+        ctx.rob.set_complete(o, cycle_ + 1);
         o.forward_at = std::min(o.forward_at, o.complete_at);
         o.early_cleared = true;
         break;
@@ -919,13 +1263,14 @@ void Core::handle_transient_shortcuts(ThreadCtx& ctx,
   // RSB window: the squash propagates to the pending return, which resolves
   // early instead of waiting for its (slow) target load
   // (TET-RSB: trigger => shorter, §4.3.3).
-  for (RobEntry& o : ctx.rob) {
+  for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+    RobEntry& o = ctx.rob[i];
     if (o.seq >= branch.seq) break;
     if (o.inst.op == Opcode::Ret && o.state == EntryState::Issued &&
         o.complete_at > cycle_ + static_cast<std::uint64_t>(
                                      cfg_.early_ret_resolve_cycles)) {
-      o.complete_at =
-          cycle_ + static_cast<std::uint64_t>(cfg_.early_ret_resolve_cycles);
+      ctx.rob.set_complete(
+          o, cycle_ + static_cast<std::uint64_t>(cfg_.early_ret_resolve_cycles));
       o.forward_at = std::min(o.forward_at, o.complete_at);
       o.early_cleared = true;
       break;
@@ -942,9 +1287,12 @@ void Core::step_complete() {
     ThreadCtx& ctx = ctx_[t];
     if (!ctx.active || ctx.halted) continue;
     for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+      if (ctx.rob.state_at(i) != EntryState::Issued ||
+          cycle_ < ctx.rob.complete_at(i))
+        continue;
       RobEntry& e = ctx.rob[i];
-      if (e.state != EntryState::Issued || cycle_ < e.complete_at) continue;
-      e.state = EntryState::Done;
+      ctx.rob.set_state(e, EntryState::Done);
+      account_done(ctx, e);
       trace(t, TraceEvent::Complete, &e);
       if (e.inst.op == Opcode::Ret && e.fault == mem::Fault::None) {
         // The loaded return target is now known: check the RSB prediction.
@@ -1005,8 +1353,7 @@ void Core::step_retire(int t) {
 
     // Architectural commit.
     if (head.writes_reg)
-      ctx.regs[static_cast<std::size_t>(reg_written(head.inst))] =
-          head.result;
+      ctx.regs[static_cast<std::size_t>(head.dst)] = head.result;
     if (head.writes_flags) ctx.flags = head.flags_out;
 
     switch (head.inst.op) {
@@ -1032,6 +1379,14 @@ void Core::step_retire(int t) {
     trace(t, TraceEvent::Retire, &head);
     ++ctx.retired;
     --budget;
+    // Release the rename map if this entry is still its registers' youngest
+    // writer (otherwise a younger in-flight writer owns the slot).
+    if (head.writes_reg &&
+        ctx.reg_writer[static_cast<std::size_t>(head.dst)] == head.seq)
+      ctx.reg_writer[static_cast<std::size_t>(head.dst)] = 0;
+    if (head.writes_flags && ctx.flags_writer == head.seq)
+      ctx.flags_writer = 0;
+    account_remove(ctx, head);
     ctx.rob.pop_front();
     if (ctx.halted) return;
   }
@@ -1169,8 +1524,11 @@ void Core::squash_younger(ThreadCtx& ctx, std::uint64_t seq) {
   const int t = &ctx == &ctx_[0] ? 0 : 1;
   std::uint64_t dropped = 0;
   while (!ctx.rob.empty() && ctx.rob.back().seq > seq) {
-    trace(t, TraceEvent::Squash, &ctx.rob.back());
-    undo_store(ctx.rob.back());
+    RobEntry& victim = ctx.rob.back();
+    trace(t, TraceEvent::Squash, &victim);
+    undo_store(victim);
+    unrename(ctx, victim);
+    account_remove(ctx, victim);
     ctx.rob.pop_back();
     ++dropped;
   }
@@ -1189,8 +1547,11 @@ void Core::squash_younger(ThreadCtx& ctx, std::uint64_t seq) {
 void Core::squash_all(ThreadCtx& ctx) {
   const int t = &ctx == &ctx_[0] ? 0 : 1;
   while (!ctx.rob.empty()) {
-    trace(t, TraceEvent::Squash, &ctx.rob.back());
-    undo_store(ctx.rob.back());
+    RobEntry& victim = ctx.rob.back();
+    trace(t, TraceEvent::Squash, &victim);
+    undo_store(victim);
+    unrename(ctx, victim);
+    account_remove(ctx, victim);
     ctx.rob.pop_back();
   }
   ctx.window_open_seq = 0;
@@ -1223,14 +1584,33 @@ void Core::per_cycle_pmu() {
 
   bool mem_in_flight = false;
   bool rs_nonempty = false;
+  // After step_complete, every Issued entry on a live thread has
+  // complete_at > cycle_ (all execute latencies and shortcut targets land
+  // at least one cycle out), so the issued_loads census answers
+  // CYCLE_ACTIVITY_CYCLES_MEM_ANY without a ROB scan. Two cases still need
+  // the exact timestamp scan: a halted thread's frozen in-flight loads
+  // (completion no longer runs for it, so they age out of the event as
+  // their timestamps pass), and a degenerate early_ret_resolve_cycles < 1
+  // (a shortcut could then zero a load's remaining latency mid-cycle).
+  const bool shortcut_can_zero = cfg_.early_clear_on_transient_mispredict &&
+                                 cfg_.early_ret_resolve_cycles < 1;
   for (int t = 0; t < nthreads_; ++t) {
     const ThreadCtx& ctx = ctx_[t];
     if (!ctx.active) continue;
-    for (const RobEntry& e : ctx.rob) {
-      if (e.state == EntryState::Waiting) rs_nonempty = true;
-      if (e.inst.is_load() && e.state == EntryState::Issued &&
-          e.complete_at > cycle_)
+    if (ctx.waiting_count > 0) rs_nonempty = true;
+    if (ctx.issued_loads > 0 && !mem_in_flight) {
+      if (!ctx.halted && !shortcut_can_zero) {
         mem_in_flight = true;
+      } else {
+        for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+          if (ctx.rob.state_at(i) == EntryState::Issued &&
+              ctx.rob.complete_at(i) > cycle_ &&
+              ctx.rob[i].inst.is_load()) {
+            mem_in_flight = true;
+            break;
+          }
+        }
+      }
     }
   }
   if (mem_in_flight) pmu_.inc(PmuEvent::CYCLE_ACTIVITY_CYCLES_MEM_ANY);

@@ -22,12 +22,21 @@
 // Architectural state is only changed at retirement (stores are applied
 // eagerly but logged and undone on squash), so transient execution is
 // invisible at the ISA level — as required for a transient-attack study.
+//
+// Fast-forward (docs/PERFORMANCE.md): most simulated cycles are structurally
+// inert — every in-flight load is still counting down its latency, nothing
+// can issue, allocate, fetch or retire. When the core can prove the next
+// cycle is inert it computes the exact horizon at which anything changes and
+// advances cycle/PMU state in closed form instead of stepping the pipeline.
+// The skip is exact by construction: a cycle is only skipped when the
+// structural loop would have made no state transition, so fast-forward
+// on/off is byte-identical in results, PMU deltas and traces (invariant 10,
+// docs/ARCHITECTURE.md).
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
-#include <optional>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -36,6 +45,7 @@
 #include "mem/memory_system.h"
 #include "stats/rng.h"
 #include "uarch/branch_predictor.h"
+#include "uarch/ring.h"
 #include "uarch/trace.h"
 #include "uarch/config.h"
 #include "uarch/pmu.h"
@@ -50,6 +60,8 @@ namespace whisper::uarch {
 /// the front end for the returned cost on top of the machine-clear penalty.
 /// Implementations use the hook's cycle argument for their own scheduling
 /// (DVFS steps, TLB shootdowns) and must be deterministic in (seed, cycle).
+/// The hook is called for every simulated cycle even while the core is
+/// fast-forwarding an inert span, so noise schedules are mode-independent.
 class CoreInterference {
  public:
   virtual ~CoreInterference() = default;
@@ -116,8 +128,10 @@ class Core {
   /// Return the core to its post-construction state — cycle counter, PMU,
   /// BPU, DSB, SMT contexts and scratch all cleared, the jitter RNG
   /// re-derived exactly as construction with cfg.seed = seed would. The
-  /// attached trace/interference hooks are left untouched (os::Machine and
-  /// the runner manage those).
+  /// attached trace/interference hooks, the fast-forward knob and the
+  /// decode cache are left untouched (the first two belong to os::Machine
+  /// and the runner; the decode cache is a pure function of program content,
+  /// so a warm one is indistinguishable from a cold one).
   void reset(std::uint64_t seed);
 
   /// Attach (or detach with nullptr) a pipeline trace sink. Any TraceSink
@@ -130,6 +144,23 @@ class Core {
   /// as set_trace: with none attached the per-cycle hook is a branch on a
   /// null pointer and the run is cycle-identical to an unhooked core.
   void set_interference(CoreInterference* noise) noexcept { noise_ = noise; }
+
+  /// Enable/disable the fast-forward execution mode (default on). Off means
+  /// every cycle steps the full structural pipeline; on is byte-identical
+  /// but skips provably inert spans in closed form. Sticky across reset().
+  void set_fast_forward(bool on) noexcept { fast_forward_ = on; }
+  [[nodiscard]] bool fast_forward() const noexcept { return fast_forward_; }
+
+  /// Decode-cache hit accounting (docs/PERFORMANCE.md). Monotonic for the
+  /// lifetime of the Core — reset() does not clear it, because the cache
+  /// itself survives reset.
+  struct DecodeCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  [[nodiscard]] const DecodeCacheStats& decode_cache_stats() const noexcept {
+    return decode_stats_;
+  }
 
   /// Advance the free-running cycle counter without executing anything —
   /// used by the OS layer to charge attacker-side overheads (TLB eviction
@@ -146,8 +177,10 @@ class Core {
     EntryState state = EntryState::Waiting;
     int uops = 1;
 
-    // Dataflow: seq of the youngest older producer of each operand
-    // (0 = read architectural state).
+    // Dataflow: seq of the youngest older producer of each operand.
+    // 0 = read architectural state. A producer seq may also reference an
+    // already-retired entry (the rename map is not scrubbed on retire);
+    // both cases read the architectural value, so they are equivalent.
     std::uint64_t prod_a = 0;   // first source register
     std::uint64_t prod_b = 0;   // second source register
     std::uint64_t prod_flags = 0;
@@ -155,8 +188,14 @@ class Core {
     // Results.
     std::uint64_t result = 0;
     isa::Flags flags_out{};
+    isa::Reg dst = isa::Reg::None;  // architectural destination (decode)
     bool writes_reg = false;
     bool writes_flags = false;
+
+    // Rename-map checkpoints: the map values this entry displaced at
+    // allocation, restored when the entry is squashed (youngest-first).
+    std::uint64_t prev_reg_writer = 0;
+    std::uint64_t prev_flags_writer = 0;
 
     // Timing.
     std::uint64_t complete_at = 0;   // when the entry becomes Done
@@ -178,6 +217,84 @@ class Core {
     bool pred_from_rsb = false;
   };
 
+  /// The reorder buffer: a contiguous power-of-two ring of RobEntry with
+  /// structure-of-arrays mirrors of the fields the per-cycle scans touch
+  /// (state, complete_at, seq). The mirrors are kept in lockstep at the two
+  /// choke points that mutate them (set_state / set_complete) so hot sweeps
+  /// — completion wake-up, the fast-forward inertness check — stream three
+  /// flat arrays instead of striding ~160-byte entries. seq values ascend
+  /// in ring order but are NOT contiguous (squashes leave gaps), so seq
+  /// lookup is a binary search, not offset arithmetic.
+  class RobRing {
+   public:
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] RobEntry& operator[](std::size_t i) noexcept {
+      return buf_[phys(i)];
+    }
+    [[nodiscard]] const RobEntry& operator[](std::size_t i) const noexcept {
+      return buf_[phys(i)];
+    }
+    [[nodiscard]] RobEntry& front() noexcept { return buf_[phys(0)]; }
+    [[nodiscard]] const RobEntry& front() const noexcept {
+      return buf_[phys(0)];
+    }
+    [[nodiscard]] RobEntry& back() noexcept { return buf_[phys(size_ - 1)]; }
+    [[nodiscard]] const RobEntry& back() const noexcept {
+      return buf_[phys(size_ - 1)];
+    }
+
+    [[nodiscard]] EntryState state_at(std::size_t i) const noexcept {
+      return state_[phys(i)];
+    }
+    [[nodiscard]] std::uint64_t complete_at(std::size_t i) const noexcept {
+      return complete_[phys(i)];
+    }
+
+    void push_back(RobEntry e);
+    void pop_front() noexcept {
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+    void pop_back() noexcept { --size_; }
+    void clear() noexcept {
+      head_ = 0;
+      size_ = 0;
+    }
+
+    void set_state(RobEntry& e, EntryState s) noexcept {
+      e.state = s;
+      state_[slot(e)] = s;
+    }
+    void set_complete(RobEntry& e, std::uint64_t c) noexcept {
+      e.complete_at = c;
+      complete_[slot(e)] = c;
+    }
+
+    /// Entry with the given seq, or nullptr (retired/squashed/never
+    /// existed). Binary search over the ascending-with-gaps seq mirror.
+    [[nodiscard]] RobEntry* by_seq(std::uint64_t seq) noexcept;
+
+   private:
+    [[nodiscard]] std::size_t phys(std::size_t i) const noexcept {
+      return (head_ + i) & mask_;
+    }
+    [[nodiscard]] std::size_t slot(const RobEntry& e) const noexcept {
+      return static_cast<std::size_t>(&e - buf_.data());
+    }
+    void grow();
+
+    static constexpr std::size_t kInitialCap = 64;
+
+    std::vector<RobEntry> buf_;
+    std::vector<EntryState> state_;
+    std::vector<std::uint64_t> complete_;
+    std::vector<std::uint64_t> seq_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+  };
+
   struct IdqEntry {
     std::int32_t pc = 0;
     isa::Instruction inst;
@@ -188,9 +305,25 @@ class Core {
     int uops = 1;
   };
 
+  /// Pre-decoded per-instruction fields the pipeline consults on every
+  /// fetch/alloc/execute/retire — the out-of-line Instruction::uops()/
+  /// writes_flags() calls and the operand-register switch tables, resolved
+  /// once per program and shared across trials via the decode cache.
+  struct DecodedInst {
+    isa::Reg src_a = isa::Reg::None;
+    isa::Reg src_b = isa::Reg::None;
+    isa::Reg dst = isa::Reg::None;
+    std::int8_t uops = 1;
+    bool writes_flags = false;
+  };
+  struct DecodedProgram {
+    std::vector<DecodedInst> insts;
+  };
+
   struct ThreadCtx {
     bool active = false;
     const isa::Program* prog = nullptr;
+    std::shared_ptr<const DecodedProgram> dec;
     std::array<std::uint64_t, isa::kNumRegs> regs{};
     isa::Flags flags{};
     bool user_mode = true;
@@ -202,14 +335,38 @@ class Core {
     bool fetch_halted = false;      // saw Halt / unpredicted RET
     std::uint64_t frontend_ready_at = 0;
     bool pending_mite_bubble = false;
-    std::deque<IdqEntry> idq;
+    Ring<IdqEntry> idq;
     std::unordered_set<std::int32_t> dsb_blocks;
     int force_mite = 0;  // fetch groups forced through MITE after a resteer
 
     // Back end.
-    std::deque<RobEntry> rob;
+    RobRing rob;
     std::uint64_t next_seq = 1;
     std::uint64_t alloc_stall_until = 0;
+
+    // Rename map: seq of the youngest in-flight writer of each register /
+    // of the flags (0 = none). Retirement releases an entry only when the
+    // map still points at it; a stale retired seq left behind reads
+    // identically to 0 (architectural value, ready, untainted).
+    std::array<std::uint64_t, isa::kNumRegs> reg_writer{};
+    std::uint64_t flags_writer = 0;
+
+    // Scheduling census, maintained by the account_* choke points. These
+    // make the per-cycle PMU derivation and the issue-guard scans O(1) in
+    // the common case, and feed the fast-forward inertness check.
+    int waiting_count = 0;    // entries Waiting (reservation-station load)
+    int issued_loads = 0;     // loads currently Issued (in flight)
+    int done_count = 0;       // entries Done, not yet retired
+    /// Seqs of the pending (non-Done) fences, ascending. Fence issue is
+    /// serialised behind all older entries, so completions pop the front in
+    /// order, and squashes pop non-Done entries youngest-first, i.e. the
+    /// back — both O(1). fence_blocks() reduces to a front() comparison.
+    std::vector<std::uint64_t> fence_seqs;
+    int pending_stores = 0;   // stores (incl. CALL) not yet Done
+    int pending_clflush = 0;  // CLFLUSHes not yet Done
+    int pending_jcc = 0;      // conditional branches not yet Done
+    int pending_ret = 0;      // returns not yet Done
+    int pending_faults = 0;   // entries carrying a deferred fault
 
     // Transient-window bookkeeping.
     bool window_mispredict = false;
@@ -229,6 +386,13 @@ class Core {
     std::vector<std::uint64_t> tsc_out;
   };
 
+  /// Reset a context to its default-constructed state while recycling the
+  /// heap storage of its containers (ROB/IDQ rings, DSB set, tsc log).
+  /// run() re-primes a context once per program invocation — thousands of
+  /// times per trial — and must not re-grow the rings from scratch each
+  /// time.
+  static void recycle(ThreadCtx& ctx);
+
   RunResult run_internal(std::uint64_t cycle_limit);
 
   void step_fetch(int t);
@@ -237,6 +401,19 @@ class Core {
   void step_complete();
   void step_retire(int t);
   void per_cycle_pmu();
+
+  /// All issue-gate checks except port capacity: fence serialisation,
+  /// store/clflush drain ordering, operand readiness. Side-effect free —
+  /// shared between try_issue_entry and the fast-forward dry run.
+  [[nodiscard]] bool issue_ready(ThreadCtx& ctx, const RobEntry& e);
+  /// If the coming cycle is provably inert (single-thread mode only),
+  /// advance cycle/PMU state to the exact horizon where the pipeline next
+  /// acts and return true. When the noise hook raises an interrupt at some
+  /// cycle inside the span, stops there with `pending_interrupt` set so the
+  /// caller runs that cycle structurally. Returns false (no side effects)
+  /// when the cycle must be stepped structurally.
+  bool try_fast_forward(std::uint64_t deadline,
+                        std::uint64_t& pending_interrupt);
 
   void try_issue_entry(ThreadCtx& ctx, RobEntry& e, int& loads, int& stores,
                        int& branches, int& issued_uops);
@@ -253,6 +430,17 @@ class Core {
   void squash_all(ThreadCtx& ctx);
   void undo_store(const RobEntry& e);
   void redirect_fetch(ThreadCtx& ctx, std::int32_t target);
+
+  // Census/rename bookkeeping choke points (see ThreadCtx counters).
+  static void account_alloc(ThreadCtx& ctx, const RobEntry& e);
+  static void account_issue(ThreadCtx& ctx, const RobEntry& e);
+  static void account_done(ThreadCtx& ctx, const RobEntry& e);
+  static void account_remove(ThreadCtx& ctx, const RobEntry& e);
+  static void unrename(ThreadCtx& ctx, const RobEntry& e);
+
+  /// Decoded form of `prog`, via the content-hash-keyed decode cache.
+  [[nodiscard]] std::shared_ptr<const DecodedProgram> decoded_for(
+      const isa::Program& prog);
 
   [[nodiscard]] RobEntry* find_entry(ThreadCtx& ctx, std::uint64_t seq);
   [[nodiscard]] std::uint64_t read_operand(ThreadCtx& ctx, isa::Reg r,
@@ -278,6 +466,7 @@ class Core {
   stats::Xoshiro256 rng_;
   TraceSink* trace_ = nullptr;
   CoreInterference* noise_ = nullptr;
+  bool fast_forward_ = true;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t avx_warm_until_ = 0;  // AVX power-gating state
@@ -291,6 +480,17 @@ class Core {
   // (self-modifying-code nuke).
   std::array<const isa::Program*, 2> last_prog_{};
   std::array<std::unordered_set<std::int32_t>, 2> persistent_dsb_{};
+
+  // Per-program decode cache, shared across trials that reuse this machine.
+  // Keyed by Program::content_hash() — identity by content, so a trial that
+  // rebuilds the same attack program into a fresh object still hits, and a
+  // genuinely different program at the same address naturally misses (the
+  // content key IS the invalidation). MRU at the front, bounded depth.
+  // Survives Core::reset(): decoding is a pure function of program content.
+  static constexpr std::size_t kDecodeCacheCap = 8;
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const DecodedProgram>>>
+      decode_cache_;
+  DecodeCacheStats decode_stats_;
 
   // Per-cycle scratch used by per_cycle_pmu().
   int issued_uops_this_cycle_ = 0;

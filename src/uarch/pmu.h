@@ -78,7 +78,7 @@ using PmuSnapshot = std::array<std::uint64_t, kNumPmuEvents>;
 [[nodiscard]] PmuSnapshot pmu_delta(const PmuSnapshot& before,
                                     const PmuSnapshot& after);
 
-class Pmu final : public mem::MemEventSink {
+class Pmu final {
  public:
   explicit Pmu(Vendor vendor) : vendor_(vendor) {}
 
@@ -92,30 +92,50 @@ class Pmu final : public mem::MemEventSink {
   void reset() noexcept { counters_.fill(0); }
   [[nodiscard]] Vendor vendor() const noexcept { return vendor_; }
 
-  // mem::MemEventSink
-  void on_dtlb_miss_walk(int walks) override {
-    inc(PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK,
-        static_cast<std::uint64_t>(walks));
+  /// The memory-subsystem counter window handed to
+  /// mem::MemorySystem::set_counter_window: the eight mem-side PmuEvents are
+  /// laid out contiguously in exactly mem::MemCounter order, so the memory
+  /// system increments them with a raw indexed add instead of a virtual
+  /// event callback. Stable for the lifetime of the Pmu (reset() zeroes the
+  /// counters in place; it never reseats the array).
+  [[nodiscard]] std::uint64_t* mem_counter_window() noexcept {
+    return &counters_[static_cast<std::size_t>(
+        PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK)];
   }
-  void on_dtlb_walk_cycles(int cycles) override {
-    inc(PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE,
-        static_cast<std::uint64_t>(cycles));
-  }
-  void on_itlb_walk_cycles(int cycles) override {
-    inc(PmuEvent::ITLB_MISSES_WALK_ACTIVE, static_cast<std::uint64_t>(cycles));
-  }
-  void on_stlb_hit() override { inc(PmuEvent::DTLB_LOAD_MISSES_STLB_HIT); }
-  void on_cache_hit(int level) override {
-    switch (level) {
-      case 1: inc(PmuEvent::MEM_LOAD_RETIRED_L1_HIT); break;
-      case 2: inc(PmuEvent::MEM_LOAD_RETIRED_L2_HIT); break;
-      case 3: inc(PmuEvent::MEM_LOAD_RETIRED_L3_HIT); break;
-      default: break;
-    }
-  }
-  void on_dram_access() override { inc(PmuEvent::MEM_LOAD_RETIRED_DRAM); }
 
  private:
+  static_assert(
+      static_cast<std::size_t>(PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kDtlbWalkCycles) &&
+      static_cast<std::size_t>(PmuEvent::ITLB_MISSES_WALK_ACTIVE) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kItlbWalkCycles) &&
+      static_cast<std::size_t>(PmuEvent::DTLB_LOAD_MISSES_STLB_HIT) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kStlbHits) &&
+      static_cast<std::size_t>(PmuEvent::MEM_LOAD_RETIRED_L1_HIT) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kL1Hit) &&
+      static_cast<std::size_t>(PmuEvent::MEM_LOAD_RETIRED_L2_HIT) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kL2Hit) &&
+      static_cast<std::size_t>(PmuEvent::MEM_LOAD_RETIRED_L3_HIT) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kL3Hit) &&
+      static_cast<std::size_t>(PmuEvent::MEM_LOAD_RETIRED_DRAM) ==
+          static_cast<std::size_t>(
+              PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK) +
+              static_cast<std::size_t>(mem::MemCounter::kDram),
+      "the mem-subsystem PmuEvents must stay contiguous and ordered to match "
+      "mem::MemCounter — the counter window indexes them directly");
+
   Vendor vendor_;
   PmuSnapshot counters_{};
 };

@@ -1,0 +1,80 @@
+// A contiguous power-of-two ring buffer with deque semantics.
+//
+// The pipeline's hot structures — the IDQ and the ROB — are bounded FIFO-ish
+// queues that also pop from the back on squash. std::deque satisfies the
+// interface but scatters elements across heap chunks and walks a map of
+// pointers on every index; this ring keeps everything in one allocation so
+// the per-cycle scans of the core are linear sweeps. Capacity grows by
+// doubling and is never given back: clear() keeps the storage so a machine
+// reused across trials stops allocating after its first run.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace whisper::uarch {
+
+template <typename T>
+class Ring {
+ public:
+  Ring() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] T& front() noexcept { return (*this)[0]; }
+  [[nodiscard]] const T& front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] T& back() noexcept { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & mask_] = std::move(value);
+    ++size_;
+  }
+  void pop_front() noexcept {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+  void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+  /// Drop all elements; storage (and element payloads past size()) are kept.
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? kInitialCap : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & mask_]);
+    buf_ = std::move(next);
+    head_ = 0;
+    mask_ = new_cap - 1;
+  }
+
+  static constexpr std::size_t kInitialCap = 64;
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace whisper::uarch

@@ -129,15 +129,16 @@ TEST(PmuTest, ResetZeroesCounters) {
   EXPECT_EQ(pmu.value(PmuEvent::IC_FW32), 0u);
 }
 
-TEST(PmuTest, MemEventSinkMapsToNamedEvents) {
+TEST(PmuTest, MemCounterWindowMapsToNamedEvents) {
   Pmu pmu(Vendor::Intel);
-  pmu.on_dtlb_miss_walk(2);
-  pmu.on_dtlb_walk_cycles(62);
-  pmu.on_itlb_walk_cycles(19);
-  pmu.on_stlb_hit();
-  pmu.on_cache_hit(1);
-  pmu.on_cache_hit(3);
-  pmu.on_dram_access();
+  std::uint64_t* win = pmu.mem_counter_window();
+  win[static_cast<std::size_t>(mem::MemCounter::kDtlbMissWalks)] += 2;
+  win[static_cast<std::size_t>(mem::MemCounter::kDtlbWalkCycles)] += 62;
+  win[static_cast<std::size_t>(mem::MemCounter::kItlbWalkCycles)] += 19;
+  win[static_cast<std::size_t>(mem::MemCounter::kStlbHits)] += 1;
+  win[static_cast<std::size_t>(mem::MemCounter::kL1Hit)] += 1;
+  win[static_cast<std::size_t>(mem::MemCounter::kL3Hit)] += 1;
+  win[static_cast<std::size_t>(mem::MemCounter::kDram)] += 1;
   EXPECT_EQ(pmu.value(PmuEvent::DTLB_LOAD_MISSES_MISS_CAUSES_A_WALK), 2u);
   EXPECT_EQ(pmu.value(PmuEvent::DTLB_LOAD_MISSES_WALK_ACTIVE), 62u);
   EXPECT_EQ(pmu.value(PmuEvent::ITLB_MISSES_WALK_ACTIVE), 19u);

@@ -230,23 +230,17 @@ TEST_F(MemorySystemTest, DebugAccessorsBypassTiming) {
   EXPECT_THROW((void)ms_->debug_read64(0x00dead0000ull), std::runtime_error);
 }
 
-TEST_F(MemorySystemTest, EventSinkReceivesWalkEvents) {
-  struct Sink : MemEventSink {
-    int walks = 0, walk_cycles = 0, stlb = 0, dram = 0;
-    void on_dtlb_miss_walk(int w) override { walks += w; }
-    void on_dtlb_walk_cycles(int c) override { walk_cycles += c; }
-    void on_itlb_walk_cycles(int) override {}
-    void on_stlb_hit() override { ++stlb; }
-    void on_cache_hit(int) override {}
-    void on_dram_access() override { ++dram; }
-  } sink;
-  ms_->set_event_sink(&sink);
+TEST_F(MemorySystemTest, CounterWindowReceivesWalkEvents) {
+  std::uint64_t counters[kNumMemCounters] = {};
+  ms_->set_counter_window(counters);
   ms_->flush_tlbs();
   (void)read(0x00dead0000ull);
-  EXPECT_EQ(sink.walks, cfg_.not_present_replays);
-  EXPECT_GT(sink.walk_cycles, 0);
+  EXPECT_EQ(counters[static_cast<std::size_t>(MemCounter::kDtlbMissWalks)],
+            static_cast<std::uint64_t>(cfg_.not_present_replays));
+  EXPECT_GT(counters[static_cast<std::size_t>(MemCounter::kDtlbWalkCycles)],
+            0u);
   (void)read(0x400000);
-  EXPECT_EQ(sink.dram, 1);
+  EXPECT_EQ(counters[static_cast<std::size_t>(MemCounter::kDram)], 1u);
 }
 
 }  // namespace
