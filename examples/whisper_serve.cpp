@@ -1,0 +1,164 @@
+// whisper_serve — the attack-as-a-service daemon.
+//
+//   whisper_serve [--socket PATH] [--jobs J] [--pool N]
+//   whisper_serve --request JSON [--socket PATH]
+//   whisper_serve --shutdown [--socket PATH]
+//   whisper_serve --selftest
+//
+// Daemon mode binds a unix-domain socket (default /tmp/whisper_serve.sock)
+// and serves the newline-framed JSON protocol of src/serve/protocol.h:
+// verbs run, ping, list, metrics, shutdown. Try it with nothing fancier
+// than nc:
+//
+//   whisper_serve --socket /tmp/w.sock &
+//   printf '%s\n' '{"id":1,"verb":"run","attack":"cc","trials":2,"seed":7}' |
+//     nc -U /tmp/w.sock
+//
+// --request sends one request line from the command line, prints every
+// response line to stdout, and exits when the request's stream terminates
+// (done/error/pong/attacks/metrics/bye). --shutdown is shorthand for
+// sending the shutdown verb. --selftest runs a loopback round-trip with no
+// socket at all and exits 0 on success (used as a smoke check).
+//
+// --jobs sets the worker count (throughput only: response bytes are
+// byte-identical for any value — invariant 11, docs/ARCHITECTURE.md);
+// --pool caps the shared machine pool (admission control).
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/transport_loopback.h"
+#include "serve/transport_unix.h"
+
+using namespace whisper;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  bool has(const std::string& flag) const {
+    for (const auto& a : positional)
+      if (a == flag) return true;
+    return false;
+  }
+  std::string value(const std::string& flag, const std::string& dflt) const {
+    for (std::size_t i = 0; i + 1 < positional.size(); ++i)
+      if (positional[i] == flag) return positional[i + 1];
+    return dflt;
+  }
+};
+
+void usage() {
+  std::puts(
+      "whisper_serve — attack-as-a-service daemon\n"
+      "\n"
+      "  whisper_serve [--socket PATH] [--jobs J] [--pool N]\n"
+      "  whisper_serve --request JSON [--socket PATH]\n"
+      "  whisper_serve --shutdown [--socket PATH]\n"
+      "  whisper_serve --selftest\n"
+      "\n"
+      "Protocol: one JSON object per line; verbs run, ping, list, metrics,\n"
+      "shutdown (src/serve/protocol.h; docs/REPRODUCING.md \"Serving\").");
+}
+
+/// Is `line` the last response of its request's stream?
+bool terminal_response(const std::string& line) {
+  for (const char* t : {"\"done\"", "\"error\"", "\"pong\"", "\"attacks\"",
+                        "\"metrics\"", "\"bye\""})
+    if (line.find(std::string("\"type\":") + t) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// One-shot client: send `request`, print responses until the stream ends.
+int send_request(const std::string& socket_path, const std::string& request) {
+  auto conn = serve::UnixSocketTransport::dial(socket_path);
+  if (!conn->write_line(request)) {
+    std::fprintf(stderr, "whisper_serve: send failed\n");
+    return 1;
+  }
+  std::string line;
+  bool saw_error = false;
+  while (conn->read_line(line)) {
+    std::printf("%s\n", line.c_str());
+    if (line.find("\"type\":\"error\"") != std::string::npos) saw_error = true;
+    if (terminal_response(line)) break;
+  }
+  return saw_error ? 1 : 0;
+}
+
+/// Loopback smoke test: no socket, one run request, assert the stream
+/// terminates with a done line.
+int selftest() {
+  serve::LoopbackTransport transport;
+  serve::ServerOptions opts;
+  opts.jobs = 2;
+  serve::Server server(transport, opts);
+  server.start();
+  auto client = transport.connect();
+  client->send(R"({"id":1,"verb":"run","attack":"cc","trials":2,"seed":7})");
+  client->close_send();
+  std::string line;
+  bool done = false;
+  while (client->recv(line)) {
+    std::printf("%s\n", line.c_str());
+    if (line.find("\"type\":\"done\"") != std::string::npos) {
+      done = true;
+      break;
+    }
+    if (line.find("\"type\":\"error\"") != std::string::npos) break;
+  }
+  server.stop();
+  if (!done) {
+    std::fprintf(stderr, "whisper_serve: selftest failed\n");
+    return 1;
+  }
+  std::puts("selftest ok");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) args.positional.emplace_back(argv[i]);
+
+  if (args.has("--help") || args.has("-h")) {
+    usage();
+    return 0;
+  }
+  if (args.has("--selftest")) return selftest();
+
+  const std::string socket_path =
+      args.value("--socket", "/tmp/whisper_serve.sock");
+
+  try {
+    if (args.has("--request"))
+      return send_request(socket_path, args.value("--request", ""));
+    if (args.has("--shutdown"))
+      return send_request(socket_path, R"({"id":1,"verb":"shutdown"})");
+
+    // Daemon mode.
+    serve::ServerOptions opts;
+    opts.jobs = std::stoi(args.value("--jobs", "1"));
+    opts.pool_capacity =
+        static_cast<std::size_t>(std::stoul(args.value("--pool", "4")));
+    serve::UnixSocketTransport transport(socket_path);
+    serve::Server server(transport, opts);
+    server.start();
+    std::fprintf(stderr,
+                 "whisper_serve: listening on %s (jobs=%d, pool=%zu)\n",
+                 socket_path.c_str(), opts.jobs, opts.pool_capacity);
+    server.wait_shutdown();
+    server.stop();
+    std::fprintf(stderr, "whisper_serve: bye\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "whisper_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -23,6 +23,10 @@
 #      (fresh_jobs1, reset_jobs1, ff_jobs1, reset_jobsN, speedup,
 #      ff_speedup, ...) — the column glossary may not drift from the
 #      harness's actual output keys.
+#   9. The whisper_serve daemon's surface must be documented: every
+#      protocol verb in src/serve/protocol.h's kVerbs array, every flag
+#      examples/whisper_serve.cpp parses, and every flag
+#      bench/serve_soak.cpp parses must appear in docs/REPRODUCING.md.
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -131,6 +135,43 @@ for col in $perf_cols; do
   fi
 done
 
+# The serve daemon's wire surface: every verb in the kVerbs array
+# (src/serve/protocol.h) and every flag of the daemon binary and the soak
+# harness must be documented in the guide.
+verbs=$(sed -n '/kVerbs\[\]/,/};/p' "$root/src/serve/protocol.h" |
+        grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
+if [[ -z "$verbs" ]]; then
+  echo "FAIL: could not extract kVerbs from src/serve/protocol.h"
+  fail=1
+fi
+for verb in $verbs; do
+  if ! grep -q -- "\`$verb\`" "$guide"; then
+    echo "FAIL: src/serve/protocol.h lists verb '$verb' but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+
+serve_flags=$(grep -oE '"--[a-z-]+"' "$root/examples/whisper_serve.cpp" |
+              tr -d '"' | sort -u)
+for flag in $serve_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: examples/whisper_serve.cpp parses $flag but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+
+soak_flags=$(grep -oE '"--[a-z-]+"' "$root/bench/serve_soak.cpp" |
+             tr -d '"' | sort -u)
+for flag in $soak_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: bench/serve_soak.cpp parses $flag but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -145,6 +186,9 @@ if [[ $fail -eq 0 ]]; then
        "$(echo "$harnesses" | wc -w) bench sources," \
        "$(echo "$flags" | wc -w)+$(echo "$sweep_flags" | wc -w)+$(echo \
        "$perf_flags" | wc -w)+$(echo "$cli_flags" | wc -w) harness+cli" \
-       "flags, $(echo "$perf_cols" | wc -w) perf columns, all in sync"
+       "flags, $(echo "$perf_cols" | wc -w) perf columns," \
+       "$(echo "$verbs" | wc -w) serve verbs +" \
+       "$(echo "$serve_flags" | wc -w)+$(echo "$soak_flags" | wc -w)" \
+       "serve flags, all in sync"
 fi
 exit $fail

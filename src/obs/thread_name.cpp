@@ -1,0 +1,33 @@
+#include "obs/thread_name.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace whisper::obs {
+
+void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  // The kernel rejects names longer than 15 chars outright instead of
+  // truncating, so truncate here.
+  char buf[16];
+  const std::size_t n = name.size() < 15 ? name.size() : 15;
+  name.copy(buf, n);
+  buf[n] = '\0';
+  (void)pthread_setname_np(pthread_self(), buf);
+#else
+  (void)name;
+#endif
+}
+
+std::string current_thread_name() {
+#if defined(__linux__)
+  char buf[64] = {0};
+  if (pthread_getname_np(pthread_self(), buf, sizeof buf) != 0) return "";
+  return buf;
+#else
+  return "";
+#endif
+}
+
+}  // namespace whisper::obs

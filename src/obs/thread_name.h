@@ -1,0 +1,29 @@
+// Host-thread naming, so cycles spent in the runner's pool or the serve
+// daemon attribute to a recognisable thread in every external view —
+// `top -H`, gdb, perf, /proc/<pid>/task/*/comm — instead of a wall of
+// anonymous "whisper_tests" threads.
+//
+// Naming convention (pinned by tests/test_obs.cpp):
+//   wsp-work-<i>     runner::ThreadPool worker i
+//   wsp-accept       serve::Server transport accept loop
+//   wsp-client-<i>   serve::Server per-connection request reader
+//   wsp-serve-<i>    serve::Server request worker i
+//
+// Thin wrapper over pthread_setname_np/pthread_getname_np where available
+// (Linux caps names at 15 chars + NUL; set_current_thread_name truncates);
+// a silent no-op elsewhere, with current_thread_name() returning "".
+#pragma once
+
+#include <string>
+
+namespace whisper::obs {
+
+/// Name the calling thread (truncated to the platform limit, 15 chars on
+/// Linux). Best-effort: failures are swallowed — naming is observability,
+/// never control flow.
+void set_current_thread_name(const std::string& name);
+
+/// The calling thread's current name, or "" where unsupported.
+[[nodiscard]] std::string current_thread_name();
+
+}  // namespace whisper::obs

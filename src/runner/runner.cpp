@@ -14,6 +14,7 @@
 #include "core/attacks/registry.h"
 #include "fault/fault.h"
 #include "os/machine.h"
+#include "runner/machine_pool.h"
 #include "stats/rng.h"
 
 namespace whisper::runner {
@@ -44,76 +45,6 @@ const core::AttackInfo& attack_info_or_throw(const std::string& name) {
     throw std::invalid_argument(msg + ")");
   }
   return *info;
-}
-
-/// Construction inputs that must match for a pooled Machine to be reusable
-/// via reset(): everything machine_options() forwards except the per-trial
-/// seed (reset() re-derives every seeded stream). Doubles are serialised as
-/// hexfloats — exact, so two profiles can never alias to one machine.
-std::string machine_key(const RunSpec& spec) {
-  char buf[64];
-  std::string k = std::to_string(static_cast<int>(spec.model));
-  k += '|';
-  k += spec.kernel.kpti ? '1' : '0';
-  k += spec.kernel.flare ? '1' : '0';
-  k += spec.kernel.fgkaslr ? '1' : '0';
-  k += '.';
-  k += std::to_string(spec.kernel.kaslr_slot);
-  k += '.';
-  k += std::to_string(spec.kernel.seed);
-  k += '|';
-  k += spec.docker ? '1' : '0';
-  k += '|';
-  k += spec.noise.name;
-  k += '.';
-  k += std::to_string(spec.noise.seed);
-  for (const noise::NoiseSource& s : spec.noise.sources) {
-    std::snprintf(buf, sizeof buf, ":%d=%a", static_cast<int>(s.kind),
-                  s.intensity);
-    k += buf;
-  }
-  return k;
-}
-
-/// Per-worker machine pool: one snapshot()ted Machine per construction key,
-/// reset() between trials. thread_local, so the executor's persistent
-/// workers (and the jobs==1 inline path) each keep their own — no sharing,
-/// no locks. A tiny LRU cap bounds memory when sweeps interleave many
-/// models/profiles on one thread.
-struct PooledMachine {
-  std::string key;
-  std::unique_ptr<os::Machine> machine;
-};
-constexpr std::size_t kMaxPooledMachines = 4;
-thread_local std::vector<PooledMachine> tl_machines;
-
-os::Machine& pooled_machine(const RunSpec& spec, std::uint64_t seed) {
-  std::string key = machine_key(spec);
-  for (auto it = tl_machines.begin(); it != tl_machines.end(); ++it) {
-    if (it->key == key) {
-      std::rotate(tl_machines.begin(), it, it + 1);  // move to front
-      return *tl_machines.front().machine;
-    }
-  }
-  auto m = std::make_unique<os::Machine>(machine_options(spec, seed));
-  m->snapshot();
-  tl_machines.insert(tl_machines.begin(),
-                     PooledMachine{std::move(key), std::move(m)});
-  if (tl_machines.size() > kMaxPooledMachines) tl_machines.pop_back();
-  return *tl_machines.front().machine;
-}
-
-/// Quarantine: drop this worker's pooled machine for `spec` (its reset()
-/// no longer reproduces the snapshot). The next pooled_machine() call for
-/// the key rebuilds from scratch.
-void quarantine_pooled(const RunSpec& spec) {
-  const std::string key = machine_key(spec);
-  for (auto it = tl_machines.begin(); it != tl_machines.end(); ++it) {
-    if (it->key == key) {
-      tl_machines.erase(it);
-      return;
-    }
-  }
 }
 
 }  // namespace
@@ -284,19 +215,6 @@ struct ResetDriftError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// What one scheduled trial hands back through Executor::map: the result
-/// slot plus the fault-layer account. Exceptions become entries in
-/// outcome.errors — they never cross the pool boundary.
-struct TrialRun {
-  TrialResult result;
-  TrialOutcome outcome;
-
-  /// Executor::map's last-resort hook (see TrialOutcome).
-  void capture_unhandled(const std::string& what) {
-    outcome.capture_unhandled(what);
-  }
-};
-
 /// Build the checkpoint hook injecting this attempt's stall/sleep faults.
 /// Fire-once: the first checkpoint of the attack phase trips it, the budget
 /// check right after turns it into a BudgetExceeded.
@@ -324,7 +242,8 @@ std::function<void(os::Machine&)> make_fault_hook(
 TrialResult attempt_trial(const RunSpec& spec, const core::AttackInfo& info,
                           std::uint64_t seed, std::size_t index, int attempt,
                           const fault::FaultPlan& plan, bool verify,
-                          bool force_fresh, TrialOutcome& outcome) {
+                          bool force_fresh, TrialOutcome& outcome,
+                          MachinePool* shared_pool) {
   if (plan.fires(fault::Kind::kThrow, index, attempt))
     throw std::runtime_error("fault: injected throw (trial " +
                              std::to_string(index) + ", attempt " +
@@ -333,12 +252,15 @@ TrialResult attempt_trial(const RunSpec& spec, const core::AttackInfo& info,
       make_fault_hook(spec, index, attempt, plan);
 
   if (spec.reuse_machine && !force_fresh) {
-    os::Machine& m = pooled_machine(spec, seed);
+    MachinePool& pool =
+        shared_pool ? *shared_pool : MachinePool::this_thread();
+    MachinePool::Lease lease = pool.acquire(spec, seed);
+    os::Machine& m = lease.machine();
     m.reset(seed);
     if (plan.fires(fault::Kind::kCorrupt, index, attempt))
       m.memsys().phys().corrupt_frame_for_test();
     if (verify && m.state_digest() != m.baseline_digest()) {
-      quarantine_pooled(spec);
+      lease.quarantine();
       outcome.quarantined = true;
       throw ResetDriftError(
           "runner: pooled machine failed the post-reset() state digest "
@@ -351,20 +273,23 @@ TrialResult attempt_trial(const RunSpec& spec, const core::AttackInfo& info,
   return attack_phase(spec, info, seed, m, hook);
 }
 
+}  // namespace
+
 /// One trial of `spec` as run()/run_many() schedule it: seed and payload
 /// stream both derived from the trial index, identically for every attempt
 /// — a retry replays the same (seed, payload) coordinates, which is what
 /// keeps a recovered run bit-identical to an unfailed one. All failure
 /// paths end as TrialError records; nothing escapes.
-TrialRun run_indexed_trial(const RunSpec& spec, std::size_t i,
-                           const fault::FaultPlan& plan, bool verify) {
+ScheduledTrial run_scheduled_trial(const RunSpec& spec, std::size_t i,
+                                   const fault::FaultPlan& plan, bool verify,
+                                   MachinePool* pool) {
   RunSpec per_trial = spec;
   // Decorrelate the payload stream per trial alongside the seed.
   per_trial.payload_seed = spec.payload_seed ^ i;
   const std::uint64_t seed = trial_seed(spec.base_seed, i);
   const core::AttackInfo& info = attack_info_or_throw(spec.attack);
 
-  TrialRun run;
+  ScheduledTrial run;
   run.result.seed = seed;
   const int max_attempts = 1 + std::max(0, spec.retries);
   const auto record = [&](TrialErrorKind kind, int attempt,
@@ -377,7 +302,7 @@ TrialRun run_indexed_trial(const RunSpec& spec, std::size_t i,
     run.outcome.attempts = attempt + 1;
     try {
       run.result = attempt_trial(per_trial, info, seed, i, attempt, plan,
-                                 verify, force_fresh, run.outcome);
+                                 verify, force_fresh, run.outcome, pool);
       run.outcome.ok = true;
       return run;
     } catch (const core::BudgetExceeded& e) {
@@ -405,12 +330,14 @@ TrialRun run_indexed_trial(const RunSpec& spec, std::size_t i,
   return run;
 }
 
+namespace {
+
 /// The merge step: fold per-trial results, strictly in trial index order.
 /// Degraded trials keep their (empty) slot but contribute nothing to the
 /// merged statistics — an all-failed run yields zeroed summaries and an
 /// empty tote histogram, never a throw from empty-histogram accessors.
 RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
-                       std::vector<TrialRun> runs) {
+                       std::vector<ScheduledTrial> runs) {
   RunResult out;
   out.spec = spec;
   out.jobs = jobs;
@@ -421,7 +348,7 @@ RunResult merge_trials(const RunSpec& spec, int jobs, double wall_seconds,
   std::vector<double> confs;
   secs.reserve(runs.size());
   confs.reserve(runs.size());
-  for (TrialRun& tr : runs) {
+  for (ScheduledTrial& tr : runs) {
     const TrialResult& t = tr.result;
     const TrialOutcome& oc = tr.outcome;
     out.total_attempts += static_cast<std::size_t>(std::max(1, oc.attempts));
@@ -504,10 +431,10 @@ RunResult run(const RunSpec& spec, Executor& ex, bool progress) {
       spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
   Progress meter(spec.label(), n, progress);
   WallTimer timer;
-  std::vector<TrialRun> trials = ex.map(
+  std::vector<ScheduledTrial> trials = ex.map(
       n,
       [&spec, &plan, verify](std::size_t i) {
-        return run_indexed_trial(spec, i, plan, verify);
+        return run_scheduled_trial(spec, i, plan, verify);
       },
       &meter);
   const double wall = timer.seconds();
@@ -547,12 +474,12 @@ std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
   Progress meter("runner: " + std::to_string(specs.size()) + " specs",
                  tasks.size(), progress);
   WallTimer timer;
-  std::vector<TrialRun> flat = ex.map(
+  std::vector<ScheduledTrial> flat = ex.map(
       tasks.size(),
       [&](std::size_t k) {
         const std::size_t s = tasks[k].spec_idx;
-        return run_indexed_trial(specs[s], tasks[k].trial_idx, plans[s],
-                                 verify[s] != 0);
+        return run_scheduled_trial(specs[s], tasks[k].trial_idx, plans[s],
+                                   verify[s] != 0);
       },
       &meter);
   const double wall = timer.seconds();
@@ -564,7 +491,7 @@ std::vector<RunResult> run_many(const std::vector<RunSpec>& specs,
   for (const RunSpec& spec : specs) {
     const std::size_t n =
         spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
-    std::vector<TrialRun> trials(
+    std::vector<ScheduledTrial> trials(
         std::make_move_iterator(flat.begin() + static_cast<std::ptrdiff_t>(next)),
         std::make_move_iterator(flat.begin() +
                                 static_cast<std::ptrdiff_t>(next + n)));

@@ -42,7 +42,13 @@
 #include "uarch/config.h"
 #include "uarch/pmu.h"
 
+namespace whisper::fault {
+class FaultPlan;
+}
+
 namespace whisper::runner {
+
+class MachinePool;
 
 /// One experiment cell. Everything a trial depends on lives here; nothing is
 /// read from globals, which is what makes the fan-out safe.
@@ -273,6 +279,38 @@ struct RunResult {
 /// bit-identical to the fresh-Machine overload with the same arguments.
 [[nodiscard]] TrialResult run_trial(const RunSpec& spec, std::uint64_t seed,
                                     os::Machine& m);
+
+/// What one scheduled trial hands back through Executor::map (and, in the
+/// serve daemon, down the wire): the result slot plus the fault-layer
+/// account. Exceptions become entries in outcome.errors — they never cross
+/// a pool boundary.
+struct ScheduledTrial {
+  TrialResult result;
+  TrialOutcome outcome;
+
+  /// Executor::map's last-resort hook (see TrialOutcome).
+  void capture_unhandled(const std::string& what) {
+    outcome.capture_unhandled(what);
+  }
+};
+
+/// One trial of `spec` exactly as run()/run_many() schedule it: machine
+/// seed and payload stream both derived from the trial `index`, fault
+/// points fired per `plan`, retries replaying the same coordinates, digest
+/// verification (`verify`) quarantining drifted machines. All failure
+/// paths end as TrialError records; nothing escapes.
+///
+/// `pool` selects where pooled machines come from: nullptr uses the
+/// calling thread's private MachinePool::this_thread() (the runner's
+/// fan-out path); the serve daemon passes its shared, admission-controlled
+/// pool instead. The trial stream is a pure function of (spec, index)
+/// either way — pool identity cannot reach the results (invariant 8), so
+/// serving a spec is byte-identical to sweeping it.
+[[nodiscard]] ScheduledTrial run_scheduled_trial(const RunSpec& spec,
+                                                 std::size_t index,
+                                                 const fault::FaultPlan& plan,
+                                                 bool verify,
+                                                 MachinePool* pool = nullptr);
 
 /// Fan spec.trials out over the executor and merge. With `progress`,
 /// per-trial completion lines go to stderr. Unknown attack names throw

@@ -1,12 +1,22 @@
 #include "runner/thread_pool.h"
 
+#include <string>
+
+#include "obs/thread_name.h"
+
 namespace whisper::runner {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 1) threads = 1;
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      // Name the worker so Chrome traces, watchdog reports and `top -H`
+      // attribute its cycles to the pool, not an anonymous thread
+      // (tests/test_obs.cpp pins the prefix).
+      obs::set_current_thread_name("wsp-work-" + std::to_string(i));
+      worker_loop();
+    });
 }
 
 ThreadPool::~ThreadPool() {

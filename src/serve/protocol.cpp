@@ -1,0 +1,602 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/attacks/registry.h"
+#include "noise/noise.h"
+#include "stats/json.h"
+#include "uarch/config.h"
+
+namespace whisper::serve {
+
+const JsonValue* JsonValue::get(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  // Last occurrence wins, matching how the members were accumulated.
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) found = &v;
+  return found;
+}
+
+// --- Parser ----------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue document() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size())
+      fail("trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ProtocolError("bad JSON at byte " + std::to_string(pos_) + ": " +
+                        why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c)
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    ++pos_;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        JsonValue v;
+        v.type = JsonValue::Type::String;
+        v.string = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.type = JsonValue::Type::Bool;
+        if (consume_word("true"))
+          v.boolean = true;
+        else if (consume_word("false"))
+          v.boolean = false;
+        else
+          fail("unrecognised literal");
+        return v;
+      }
+      case 'n': {
+        if (!consume_word("null")) fail("unrecognised literal");
+        return JsonValue{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("bad \\u escape");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':  out.push_back('"');  break;
+        case '\\': out.push_back('\\'); break;
+        case '/':  out.push_back('/');  break;
+        case 'b':  out.push_back('\b'); break;
+        case 'f':  out.push_back('\f'); break;
+        case 'n':  out.push_back('\n'); break;
+        case 'r':  out.push_back('\r'); break;
+        case 't':  out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (!consume_word("\\u")) fail("lone high surrogate");
+            const unsigned lo = hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // int part: 0, or [1-9][0-9]*
+    if (peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    } else {
+      fail("bad number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("bad number: digits must follow '.'");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        fail("bad number: empty exponent");
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue json_parse(std::string_view text) { return Parser(text).document(); }
+
+// --- Request schema --------------------------------------------------------
+
+namespace {
+
+double want_number(const JsonValue& v, const char* field) {
+  if (!v.is_number())
+    throw ProtocolError(std::string("field '") + field + "' must be a number");
+  return v.number;
+}
+
+std::uint64_t want_u64(const JsonValue& v, const char* field) {
+  const double d = want_number(v, field);
+  if (d < 0 || d != std::floor(d))
+    throw ProtocolError(std::string("field '") + field +
+                        "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+int want_int(const JsonValue& v, const char* field) {
+  const double d = want_number(v, field);
+  if (d != std::floor(d))
+    throw ProtocolError(std::string("field '") + field +
+                        "' must be an integer");
+  return static_cast<int>(d);
+}
+
+bool want_bool(const JsonValue& v, const char* field) {
+  if (!v.is_bool())
+    throw ProtocolError(std::string("field '") + field +
+                        "' must be a boolean");
+  return v.boolean;
+}
+
+std::string want_string(const JsonValue& v, const char* field) {
+  if (!v.is_string())
+    throw ProtocolError(std::string("field '") + field + "' must be a string");
+  return v.string;
+}
+
+std::string join_verbs() {
+  std::string out;
+  for (const char* v : kVerbs) {
+    if (!out.empty()) out += ", ";
+    out += v;
+  }
+  return out;
+}
+
+/// Apply one run-request member onto the spec. Returns false for a member
+/// the schema does not know — the caller turns that into an error rather
+/// than silently running a default (a typoed "trails" must not run 1 trial).
+bool apply_run_field(runner::RunSpec& spec, const std::string& key,
+                     const JsonValue& v) {
+  if (key == "attack") {
+    spec.attack = want_string(v, "attack");
+  } else if (key == "cpu") {
+    // Same convention as whisper_cli --cpu: an index into all_models().
+    const auto models = uarch::all_models();
+    const std::uint64_t n = want_u64(v, "cpu");
+    if (n >= models.size())
+      throw ProtocolError("field 'cpu' out of range (0.." +
+                          std::to_string(models.size() - 1) + ")");
+    spec.model = models[static_cast<std::size_t>(n)];
+  } else if (key == "trials") {
+    spec.trials = want_int(v, "trials");
+  } else if (key == "seed") {
+    spec.base_seed = want_u64(v, "seed");
+  } else if (key == "noise") {
+    const std::string name = want_string(v, "noise");
+    const auto profile = noise::NoiseProfile::by_name(name);
+    if (!profile) {
+      std::string known;
+      for (const auto& p : noise::NoiseProfile::preset_names()) {
+        if (!known.empty()) known += ", ";
+        known += p;
+      }
+      throw ProtocolError("unknown noise preset '" + name +
+                          "' (presets: " + known + ")");
+    }
+    const std::uint64_t keep_seed = spec.noise.seed;
+    spec.noise = *profile;
+    if (keep_seed != 0) spec.noise.seed = keep_seed;
+  } else if (key == "noise_seed") {
+    spec.noise.seed = want_u64(v, "noise_seed");
+  } else if (key == "kpti") {
+    spec.kernel.kpti = want_bool(v, "kpti");
+  } else if (key == "flare") {
+    spec.kernel.flare = want_bool(v, "flare");
+  } else if (key == "fgkaslr") {
+    spec.kernel.fgkaslr = want_bool(v, "fgkaslr");
+  } else if (key == "docker") {
+    spec.docker = want_bool(v, "docker");
+  } else if (key == "rounds") {
+    spec.rounds = want_int(v, "rounds");
+  } else if (key == "batches") {
+    spec.batches = want_int(v, "batches");
+  } else if (key == "payload_bytes") {
+    spec.payload_bytes = static_cast<std::size_t>(want_u64(v, "payload_bytes"));
+  } else if (key == "payload_seed") {
+    spec.payload_seed = want_u64(v, "payload_seed");
+  } else if (key == "adaptive") {
+    spec.adaptive = want_bool(v, "adaptive");
+  } else if (key == "confidence_threshold") {
+    spec.confidence_threshold = want_number(v, "confidence_threshold");
+  } else if (key == "batch_budget") {
+    spec.batch_budget = want_int(v, "batch_budget");
+  } else if (key == "reuse_machine") {
+    spec.reuse_machine = want_bool(v, "reuse_machine");
+  } else if (key == "fast_forward") {
+    spec.fast_forward = want_bool(v, "fast_forward");
+  } else if (key == "retries") {
+    spec.retries = want_int(v, "retries");
+  } else if (key == "trial_cycle_budget") {
+    spec.trial_cycle_budget = want_u64(v, "trial_cycle_budget");
+  } else if (key == "trial_wall_budget") {
+    spec.trial_wall_budget = want_number(v, "trial_wall_budget");
+  } else if (key == "verify_reset") {
+    spec.verify_reset = want_bool(v, "verify_reset");
+  } else if (key == "fault_plan") {
+    spec.fault_plan = want_string(v, "fault_plan");
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  if (line.size() > kMaxRequestBytes)
+    throw ProtocolError("request line exceeds " +
+                        std::to_string(kMaxRequestBytes) + " bytes (got " +
+                        std::to_string(line.size()) + ")");
+  const JsonValue doc = json_parse(line);
+  if (!doc.is_object()) throw ProtocolError("request must be a JSON object");
+
+  Request req;
+  const JsonValue* id = doc.get("id");
+  if (!id) throw ProtocolError("request missing numeric 'id'");
+  req.id = want_u64(*id, "id");
+  if (req.id == 0)
+    throw ProtocolError("field 'id' must be positive (0 is reserved for "
+                        "unparseable requests)");
+
+  const JsonValue* verb = doc.get("verb");
+  if (!verb) throw ProtocolError("request missing 'verb'");
+  req.verb = want_string(*verb, "verb");
+  bool known = false;
+  for (const char* v : kVerbs)
+    if (req.verb == v) known = true;
+  if (!known)
+    throw ProtocolError("unknown verb '" + req.verb +
+                        "' (verbs: " + join_verbs() + ")");
+
+  if (req.verb == "run") {
+    for (const auto& [key, v] : doc.object) {
+      if (key == "id" || key == "verb") continue;
+      if (!apply_run_field(req.spec, key, v))
+        throw ProtocolError("unknown field '" + key + "' in run request");
+    }
+  } else {
+    for (const auto& [key, v] : doc.object) {
+      (void)v;
+      if (key != "id" && key != "verb")
+        throw ProtocolError("field '" + key + "' not allowed with verb '" +
+                            req.verb + "'");
+    }
+  }
+  return req;
+}
+
+// --- Response writers ------------------------------------------------------
+
+namespace {
+
+void head(stats::JsonWriter& w, std::uint64_t id, const char* type) {
+  w.begin_object();
+  w.key("id");
+  w.value(id);
+  w.key("type");
+  w.value(type);
+}
+
+}  // namespace
+
+std::string response_trial(std::uint64_t id, std::size_t index,
+                           const runner::ScheduledTrial& t) {
+  stats::JsonWriter w;
+  head(w, id, "trial");
+  w.key("index");
+  w.value(static_cast<std::uint64_t>(index));
+  // Fault-layer account first, then the result slot — the same key order
+  // as runner trajectory files ("trials_detail"), minus anything
+  // non-deterministic across worker counts (there is nothing: invariant 8
+  // keeps pool identity out of results, and no wall-clock is emitted).
+  w.key("ok");
+  w.value(t.outcome.ok);
+  w.key("attempts");
+  w.value(t.outcome.attempts);
+  w.key("quarantined");
+  w.value(t.outcome.quarantined);
+  w.key("errors");
+  w.begin_array();
+  for (const runner::TrialError& e : t.outcome.errors) {
+    w.begin_object();
+    w.key("kind");
+    w.value(std::string(runner::to_string(e.kind)));
+    w.key("attempt");
+    w.value(e.attempt);
+    w.key("what");
+    w.value(e.what);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("seed");
+  w.value(t.result.seed);
+  w.key("success");
+  w.value(t.result.success);
+  w.key("cycles");
+  w.value(t.result.cycles);
+  w.key("seconds");
+  w.value(t.result.seconds);
+  w.key("probes");
+  w.value(static_cast<std::uint64_t>(t.result.probes));
+  w.key("bytes");
+  w.value(static_cast<std::uint64_t>(t.result.bytes));
+  w.key("byte_errors");
+  w.value(static_cast<std::uint64_t>(t.result.byte_errors));
+  w.key("found_slot");
+  w.value(t.result.found_slot);
+  w.key("confidence");
+  w.value(t.result.confidence);
+  w.key("gave_up");
+  w.value(static_cast<std::uint64_t>(t.result.gave_up));
+  w.key("tote_total");
+  w.value(t.result.tote.total());
+  w.end_object();
+  return w.str();
+}
+
+std::string response_done(std::uint64_t id, const runner::RunResult& merged) {
+  stats::JsonWriter w;
+  head(w, id, "done");
+  w.key("attack");
+  w.value(merged.spec.attack);
+  w.key("trials");
+  w.value(static_cast<std::uint64_t>(merged.trials.size()));
+  w.key("successes");
+  w.value(static_cast<std::uint64_t>(merged.successes));
+  w.key("completed");
+  w.value(static_cast<std::uint64_t>(merged.completed));
+  w.key("failed");
+  w.value(static_cast<std::uint64_t>(merged.failed));
+  w.key("retried");
+  w.value(static_cast<std::uint64_t>(merged.retried));
+  w.key("quarantined");
+  w.value(static_cast<std::uint64_t>(merged.quarantined));
+  w.key("total_attempts");
+  w.value(static_cast<std::uint64_t>(merged.total_attempts));
+  w.key("total_probes");
+  w.value(static_cast<std::uint64_t>(merged.total_probes));
+  w.key("total_bytes");
+  w.value(static_cast<std::uint64_t>(merged.total_bytes));
+  w.key("total_byte_errors");
+  w.value(static_cast<std::uint64_t>(merged.total_byte_errors));
+  w.key("errors");
+  w.begin_object();
+  for (std::size_t k = 0; k < runner::kNumTrialErrorKinds; ++k) {
+    w.key(runner::to_string(static_cast<runner::TrialErrorKind>(k)));
+    w.value(static_cast<std::uint64_t>(merged.error_counts[k]));
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string response_error(std::uint64_t id, const std::string& message) {
+  stats::JsonWriter w;
+  head(w, id, "error");
+  w.key("error");
+  w.value(message);
+  w.end_object();
+  return w.str();
+}
+
+std::string response_pong(std::uint64_t id) {
+  stats::JsonWriter w;
+  head(w, id, "pong");
+  w.end_object();
+  return w.str();
+}
+
+std::string response_attacks(std::uint64_t id) {
+  stats::JsonWriter w;
+  head(w, id, "attacks");
+  w.key("attacks");
+  w.begin_array();
+  for (const std::string& name : core::attack_names()) w.value(name);
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string response_metrics(std::uint64_t id,
+                             const std::string& metrics_json) {
+  stats::JsonWriter w;
+  head(w, id, "metrics");
+  w.end_object();
+  // Splice the registry document in as the last member; the registry's
+  // to_json() is already a complete, deterministic object.
+  std::string out = w.str();
+  out.pop_back();  // trailing '}'
+  out += ",\"metrics\":";
+  out += metrics_json;
+  out += "}";
+  return out;
+}
+
+std::string response_bye(std::uint64_t id) {
+  stats::JsonWriter w;
+  head(w, id, "bye");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace whisper::serve

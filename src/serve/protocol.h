@@ -1,0 +1,126 @@
+// The whisper_serve wire protocol: newline-framed JSON, both directions.
+//
+// Requests (one JSON object per line):
+//   {"id":1,"verb":"run","attack":"cc","trials":4,"seed":7,...}
+//   {"id":2,"verb":"ping"}
+//   {"id":3,"verb":"list"}        — registered attack names
+//   {"id":4,"verb":"metrics"}     — server MetricsRegistry + pool gauges
+//   {"id":5,"verb":"shutdown"}    — ask the daemon to exit
+//
+// Responses (one JSON object per line, "id" echoes the request):
+//   {"id":1,"type":"trial","index":0,...}   one per trial, index order
+//   {"id":1,"type":"done",...}              terminates a run's stream
+//   {"id":2,"type":"pong"}
+//   {"id":3,"type":"attacks","attacks":[...]}
+//   {"id":4,"type":"metrics","metrics":{...}}
+//   {"id":5,"type":"bye"}
+//   {"id":N,"type":"error","error":"..."}   any failure (id 0 when the
+//                                           request line didn't parse)
+//
+// Determinism contract (invariant 11, docs/ARCHITECTURE.md): no response
+// line carries wall-clock time, worker identity, or pool state — a "run"
+// response stream is a pure function of the request, so the same request
+// line yields byte-identical responses whatever the daemon's --jobs or
+// client interleaving. Wall-clock lives in the metrics verb and
+// BENCH_serve.json only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "runner/runner.h"
+
+namespace whisper::serve {
+
+// --- Mini JSON parser ------------------------------------------------------
+// The repo deliberately has no third-party JSON dependency; stats/json.h
+// covers writing, this covers the one place we must *read* JSON. Strict
+// RFC 8259 subset: objects, arrays, strings (with escapes), numbers,
+// booleans, null. Duplicate keys keep the last value, like every practical
+// parser.
+
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Object, Array };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+
+  [[nodiscard]] bool is_null() const { return type == Type::Null; }
+  [[nodiscard]] bool is_bool() const { return type == Type::Bool; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type == Type::Array; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* get(std::string_view key) const;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace is an error.
+/// Throws ProtocolError with a pointed message on malformed input.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+/// A request the server refuses: malformed JSON, schema violations,
+/// oversized lines. The message goes straight into the error response.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("serve: " + what) {}
+};
+
+// --- Requests --------------------------------------------------------------
+
+/// Every verb the daemon understands, in documentation order.
+/// scripts/check_docs.sh (check 9) greps this array and demands each verb
+/// appear in docs/REPRODUCING.md.
+inline constexpr const char* kVerbs[] = {
+    "run", "ping", "list", "metrics", "shutdown",
+};
+
+/// Request lines longer than this are rejected before parsing (error
+/// response with id 0) so a garbage client cannot balloon server memory.
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
+struct Request {
+  std::uint64_t id = 0;
+  std::string verb;
+  /// Fully-populated spec for verb == "run"; defaulted otherwise.
+  runner::RunSpec spec;
+};
+
+/// Parse one request line into a Request. Enforces kMaxRequestBytes, the
+/// JSON grammar, the verb set, and the run-spec field schema (unknown
+/// fields are errors — a typoed knob must not silently run the default).
+/// Does NOT call runner::validate(): the server does, so attack/fault-plan
+/// diagnostics keep the runner's message contract ("runner: unknown attack
+/// 'x' (registered: ...)"). Throws ProtocolError.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+// --- Responses -------------------------------------------------------------
+// All writers return a complete line (no trailing newline; transports add
+// framing) with fixed key order and formatting — these strings ARE the
+// byte-identity surface.
+
+[[nodiscard]] std::string response_trial(std::uint64_t id, std::size_t index,
+                                         const runner::ScheduledTrial& t);
+[[nodiscard]] std::string response_done(std::uint64_t id,
+                                        const runner::RunResult& merged);
+[[nodiscard]] std::string response_error(std::uint64_t id,
+                                         const std::string& message);
+[[nodiscard]] std::string response_pong(std::uint64_t id);
+[[nodiscard]] std::string response_attacks(std::uint64_t id);
+/// `metrics_json` must be a complete JSON object (MetricsRegistry::to_json)
+/// — it is spliced, not escaped.
+[[nodiscard]] std::string response_metrics(std::uint64_t id,
+                                           const std::string& metrics_json);
+[[nodiscard]] std::string response_bye(std::uint64_t id);
+
+}  // namespace whisper::serve

@@ -1,0 +1,104 @@
+// Per-client round-robin job queue for the serve daemon.
+//
+// One greedy client must not starve the others: jobs are queued per
+// client, and workers pop one job per client in rotation. A client that
+// floods 1000 run requests while another sends 1 still sees the single
+// request dispatched after at most (number of clients) pops, not after
+// 1000 (tests/test_serve.cpp pins this with a starved-client schedule).
+//
+// Shutdown is drain-then-stop: close() refuses NEW jobs immediately
+// (push() returns false and the caller answers the client with an error
+// line), but pop() keeps handing out everything already queued before
+// reporting end-of-queue — the soak test's "zero lost requests" invariant
+// is this drain plus the loopback transport's close-drains semantics.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace whisper::serve {
+
+/// Counters for the metrics verb ("serve.queue.*"). Monotonic except depth.
+struct SchedulerStats {
+  std::uint64_t pushed = 0;    // jobs accepted
+  std::uint64_t popped = 0;    // jobs handed to workers
+  std::uint64_t rejected = 0;  // pushes refused after close()
+  std::size_t depth = 0;       // jobs currently queued
+};
+
+/// FIFO per client, round-robin across clients. JobT must be movable.
+template <typename JobT>
+class FairScheduler {
+ public:
+  /// Queue a job for `client`. False (job dropped) once close()d.
+  bool push(std::uint64_t client, JobT job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        ++stats_.rejected;
+        return false;
+      }
+      std::deque<JobT>& q = queues_[client];
+      if (q.empty()) rotation_.push_back(client);
+      q.push_back(std::move(job));
+      ++stats_.pushed;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block for the next job, rotating between clients. Returns false only
+  /// when closed AND every queue has drained.
+  bool pop(JobT& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !rotation_.empty(); });
+    if (rotation_.empty()) return false;
+    const std::uint64_t client = rotation_.front();
+    rotation_.pop_front();
+    std::deque<JobT>& q = queues_[client];
+    out = std::move(q.front());
+    q.pop_front();
+    if (q.empty())
+      queues_.erase(client);
+    else
+      rotation_.push_back(client);  // back of the rotation: fairness
+    ++stats_.popped;
+    return true;
+  }
+
+  /// Stop accepting jobs; queued jobs still drain through pop().
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] SchedulerStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    SchedulerStats s = stats_;
+    s.depth = static_cast<std::size_t>(stats_.pushed - stats_.popped);
+    return s;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<JobT>> queues_;
+  std::deque<std::uint64_t> rotation_;  // clients with pending jobs
+  bool closed_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace whisper::serve

@@ -1,0 +1,125 @@
+// The whisper_serve daemon core: transport-agnostic request multiplexer.
+//
+// Thread shape (names pinned by tests/test_obs.cpp's convention check):
+//
+//   wsp-accept       one accept loop, owns Transport::accept()
+//   wsp-client-<i>   one reader per connection: parses request lines,
+//                    answers ping/list/metrics/shutdown inline, queues
+//                    run jobs on the FairScheduler
+//   wsp-serve-<i>    `jobs` workers: pop run jobs, execute trials against
+//                    the shared MachinePool, stream response lines
+//
+// Determinism (invariant 11): a run request's trials execute sequentially
+// inside one worker, each through runner::run_scheduled_trial(spec, i, ...)
+// — the exact seed schedule run() uses — against the shared pool, whose
+// identity cannot reach results (invariant 8). So each request's response
+// stream is a pure function of its request line: byte-identical whatever
+// --jobs, however clients interleave, pinned by tests/test_serve.cpp and
+// soak-proven by bench/serve_soak.
+//
+// Shutdown is drain-then-stop: stop() refuses new work but every already
+// queued job still streams its full response (zero lost requests).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runner/machine_pool.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/transport.h"
+
+namespace whisper::serve {
+
+struct ServerOptions {
+  /// Worker threads executing run jobs. Response bytes are identical for
+  /// any value >= 1; this only sets throughput.
+  int jobs = 1;
+  /// Admission cap of the shared MachinePool.
+  std::size_t pool_capacity = 4;
+};
+
+class Server {
+ public:
+  /// The transport must outlive the server. Call start() to go live.
+  Server(Transport& transport, ServerOptions opts);
+
+  /// Joins everything; equivalent to stop() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawn the accept loop and the worker threads.
+  void start();
+
+  /// Block until a client sends the shutdown verb (or stop() is called
+  /// from another thread). The daemon's main() sits here.
+  void wait_shutdown();
+
+  /// Graceful shutdown: stop accepting connections, refuse new jobs
+  /// (late requests get an error line, not silence), drain every queued
+  /// job to completion, then close connections and join all threads.
+  /// Idempotent.
+  void stop();
+
+  /// Snapshot of the server registry: serve.* counters, serve.queue.*
+  /// and pool.* gauges folded in. This is what the metrics verb returns.
+  [[nodiscard]] obs::MetricsRegistry metrics() const;
+
+  [[nodiscard]] runner::MachinePoolStats pool_stats() const {
+    return pool_.stats();
+  }
+  [[nodiscard]] SchedulerStats queue_stats() const {
+    return scheduler_.stats();
+  }
+
+ private:
+  struct RunJob {
+    std::uint64_t id = 0;  // request id, echoed on every response line
+    runner::RunSpec spec;
+    std::shared_ptr<Connection> conn;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn, std::uint64_t client);
+  void worker_loop(int worker);
+  /// Handle one request line from `client`; returns false when the
+  /// connection should stop reading (shutdown verb).
+  bool handle_line(const std::string& line,
+                   const std::shared_ptr<Connection>& conn,
+                   std::uint64_t client);
+  void execute_run(const RunJob& job);
+  void count(const std::string& name, std::uint64_t delta = 1);
+
+  Transport& transport_;
+  ServerOptions opts_;
+  runner::MachinePool pool_;
+  FairScheduler<RunJob> scheduler_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> readers_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+
+  std::mutex state_mu_;
+  std::condition_variable state_cv_;
+  bool started_ = false;
+  bool shutdown_requested_ = false;
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex metrics_mu_;
+  obs::MetricsRegistry registry_;
+  std::uint64_t next_client_ = 0;
+};
+
+}  // namespace whisper::serve

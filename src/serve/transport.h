@@ -1,0 +1,62 @@
+// Pluggable byte transport for the whisper_serve daemon.
+//
+// The serving stack is transport-agnostic: the protocol is newline-framed
+// JSON in both directions (src/serve/protocol.h), so a transport only has
+// to move lines. Two implementations:
+//
+//   * LoopbackTransport (transport_loopback.h) — in-process queue pairs;
+//     what the tests and bench/serve_soak drive, no sockets, no fds.
+//   * UnixSocketTransport (transport_unix.h) — a SOCK_STREAM unix-domain
+//     socket; what examples/whisper_serve binds by default.
+//
+// Threading contract:
+//   * accept() is called from exactly one thread (the server's accept
+//     loop); it blocks until a client connects and returns nullptr once
+//     shutdown() has been called.
+//   * Connection::read_line() is called from exactly one thread per
+//     connection (the server's per-connection reader).
+//   * Connection::write_line() is thread-safe — any worker may stream
+//     response lines at any time; each line is written atomically (no
+//     interleaving inside a line).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace whisper::serve {
+
+/// One connected client, as the server sees it.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Block for the next newline-terminated request line (the newline is
+  /// stripped). Returns false once the peer has closed and every buffered
+  /// line has been consumed.
+  virtual bool read_line(std::string& out) = 0;
+
+  /// Queue one response line (a trailing newline is appended). Thread-safe;
+  /// atomic per line. Returns false when the connection is gone.
+  virtual bool write_line(const std::string& line) = 0;
+
+  /// Tear the connection down in both directions; unblocks a pending
+  /// read_line(). Idempotent.
+  virtual void close() = 0;
+
+  /// Short peer label for logs and metrics ("loopback:2", "unix:7").
+  [[nodiscard]] virtual std::string peer() const = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Block until the next client connects; nullptr after shutdown().
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// Stop accepting: unblock a pending accept() and make every later call
+  /// return nullptr. Established connections are unaffected. Idempotent.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace whisper::serve

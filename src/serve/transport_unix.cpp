@@ -1,0 +1,184 @@
+#include "serve/transport_unix.h"
+
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WHISPER_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#endif
+
+namespace whisper::serve {
+
+#if WHISPER_HAVE_UNIX_SOCKETS
+
+namespace {
+
+#ifndef MSG_NOSIGNAL
+// macOS spells SIGPIPE suppression differently (SO_NOSIGPIPE); writes to a
+// dead peer there surface as EPIPE after the signal is ignored per-process
+// by the caller. Linux — the platform we actually run on — has the flag.
+#define MSG_NOSIGNAL 0
+#endif
+
+class FdConnection : public Connection {
+ public:
+  FdConnection(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
+  ~FdConnection() override { close(); }
+
+  bool read_line(std::string& out) override {
+    out.clear();
+    for (;;) {
+      // Serve lines straight from the buffer while we have any.
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or error: a final unterminated fragment still counts as a
+      // line so a peer that forgot the trailing newline is not ignored.
+      if (!buf_.empty()) {
+        out = std::move(buf_);
+        buf_.clear();
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool write_line(const std::string& line) override {
+    // One lock per line keeps concurrent workers' lines from interleaving.
+    std::lock_guard<std::mutex> lock(write_mu_);
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  [[nodiscard]] std::string peer() const override { return peer_; }
+
+ private:
+  int fd_;
+  std::string peer_;
+  std::string buf_;
+  std::mutex write_mu_;
+};
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("serve: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+UnixSocketTransport::UnixSocketTransport(const std::string& path)
+    : path_(path) {
+  const sockaddr_un addr = make_addr(path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  ::unlink(path.c_str());  // clear a stale socket from a crashed daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + path + ": " + err);
+  }
+}
+
+UnixSocketTransport::~UnixSocketTransport() { shutdown(); }
+
+std::unique_ptr<Connection> UnixSocketTransport::accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd >= 0)
+      return std::make_unique<FdConnection>(
+          fd, "unix:" + std::to_string(next_id_++));
+    if (errno == EINTR) continue;
+    return nullptr;  // listen fd shut down or gone
+  }
+}
+
+void UnixSocketTransport::shutdown() {
+  if (listen_fd_ >= 0) {
+    // shutdown() on the listening fd unblocks a concurrent accept();
+    // plain close() alone leaves it hanging on Linux.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+std::unique_ptr<Connection> UnixSocketTransport::dial(const std::string& path) {
+  const sockaddr_un addr = make_addr(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: cannot connect to " + path + ": " + err);
+  }
+  return std::make_unique<FdConnection>(fd, "unix:dial");
+}
+
+#else  // !WHISPER_HAVE_UNIX_SOCKETS
+
+UnixSocketTransport::UnixSocketTransport(const std::string& path)
+    : path_(path) {
+  throw std::runtime_error(
+      "serve: unix-domain sockets unavailable on this platform; use the "
+      "loopback transport");
+}
+
+UnixSocketTransport::~UnixSocketTransport() = default;
+std::unique_ptr<Connection> UnixSocketTransport::accept() { return nullptr; }
+void UnixSocketTransport::shutdown() {}
+std::unique_ptr<Connection> UnixSocketTransport::dial(const std::string&) {
+  throw std::runtime_error("serve: unix-domain sockets unavailable");
+}
+
+#endif
+
+}  // namespace whisper::serve

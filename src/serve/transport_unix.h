@@ -1,0 +1,42 @@
+// SOCK_STREAM unix-domain socket transport for examples/whisper_serve.
+//
+// Newline-framed JSON over a filesystem socket, so a daemon can be driven
+// with nothing fancier than `nc -U` or a short python script (see
+// docs/REPRODUCING.md). Gated to POSIX: on other platforms the
+// constructor throws and the daemon falls back to loopback-only mode.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "serve/transport.h"
+
+namespace whisper::serve {
+
+class UnixSocketTransport : public Transport {
+ public:
+  /// Bind and listen on `path`. Any stale socket file left by a previous
+  /// (crashed) daemon is unlinked first. Throws std::runtime_error when
+  /// the socket cannot be created (path too long for sockaddr_un, bind
+  /// failure, unsupported platform).
+  explicit UnixSocketTransport(const std::string& path);
+  ~UnixSocketTransport() override;
+
+  std::unique_ptr<Connection> accept() override;
+  void shutdown() override;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Client-side convenience: connect to `path` and wrap the fd in a
+  /// Connection (read_line ← responses, write_line → requests). Used by
+  /// `whisper_serve --request` one-shot mode. Throws on failure.
+  [[nodiscard]] static std::unique_ptr<Connection> dial(
+      const std::string& path);
+
+ private:
+  std::string path_;
+  int listen_fd_ = -1;
+  std::size_t next_id_ = 0;
+};
+
+}  // namespace whisper::serve

@@ -34,6 +34,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/thread_name.h"
 #include "obs/topdown.h"
 #include "os/machine.h"
 #include "runner/json_writer.h"
@@ -648,6 +649,23 @@ TEST(TrajectoryJson, CarriesTopdownAndStaysValid) {
   EXPECT_TRUE(stats::json_is_valid(json));
   EXPECT_NE(json.find("\"topdown\":{\"total_cycles\":"), std::string::npos);
   EXPECT_NE(json.find("\"bad_speculation\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Thread naming convention
+// ---------------------------------------------------------------------------
+
+// Every pool worker must announce itself as wsp-work-<i> (the serve daemon
+// adds wsp-accept / wsp-client-<i> / wsp-serve-<i>; src/obs/thread_name.h
+// pins the convention), so traces, watchdog reports and `top -H` can
+// attribute cycles to the right subsystem instead of an anonymous thread.
+TEST(ThreadNames, ExecutorWorkersFollowTheNamingConvention) {
+  runner::Executor ex(3);
+  const auto names =
+      ex.map(8, [](std::size_t) { return obs::current_thread_name(); });
+  ASSERT_EQ(names.size(), 8u);
+  for (const std::string& name : names)
+    EXPECT_EQ(name.rfind("wsp-work-", 0), 0u) << "unnamed worker: " << name;
 }
 
 }  // namespace
