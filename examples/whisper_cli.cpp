@@ -3,21 +3,30 @@
 //   whisper_cli tote    [--cpu N] [--trigger|--no-trigger] [--trace]
 //                       [--trace-out PATH] [--metrics-out PATH]
 //   whisper_cli leak    [--cpu N] [--secret STRING] [--attack NAME]
-//                       [--noise PROFILE] [--adaptive] [--confidence C]
-//                       [--budget B] [--trace-out PATH] [--metrics-out PATH]
-//   whisper_cli kaslr   [--cpu N] [--kpti] [--flare] [--seed S]
+//                       [--defense SPEC]... [--noise PROFILE] [--adaptive]
+//                       [--confidence C] [--budget B] [--trace-out PATH]
+//                       [--metrics-out PATH]
+//   whisper_cli kaslr   [--cpu N] [--defense SPEC]... [--kpti] [--flare]
+//                       [--fgkaslr] [--seed S]
 //                       [--trials T] [--jobs J] [--json PATH]
 //                       [--noise PROFILE] [--adaptive]
 //                       [--retries R] [--trial-cycle-budget C]
 //                       [--trial-wall-budget SECONDS] [--fault-plan PLAN]
 //                       [--verify-reset] [--no-fast-forward]
 //                       [--trace-out PATH] [--metrics-out PATH]
-//   whisper_cli chaos   [--attack NAME] [--cpu N] [--trials T] [--jobs J]
+//   whisper_cli chaos   [--attack NAME] [--defense SPEC]... [--cpu N]
+//                       [--trials T] [--jobs J]
 //                       [--seed S] [--retries R] [--fault-plan PLAN]
 //                       [--trial-cycle-budget C] [--json PATH]
 //   whisper_cli matrix  [--jobs J]
 //   whisper_cli attacks                 (also: --list-attacks anywhere)
+//   whisper_cli defenses                (registered defenses + parameters)
 //   whisper_cli models
+//
+// --defense is repeatable and takes a defense::registry() spec,
+// `name[:key=value]...` — e.g. `--defense kpti --defense window:depth=8`.
+// `whisper_cli defenses` lists the registry. The old --kpti / --flare /
+// --fgkaslr flags still work as aliases for the matching specs.
 //
 // `chaos` is the fault-tolerance self-test: it runs the same spec twice —
 // once clean, once under a seeded --fault-plan (see src/fault/fault.h for
@@ -58,6 +67,7 @@
 #include "core/attacks/common.h"
 #include "core/attacks/registry.h"
 #include "core/gadgets.h"
+#include "defense/defense.h"
 #include "noise/noise.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
@@ -84,6 +94,13 @@ struct Args {
       if (positional[i] == flag) return positional[i + 1];
     return dflt;
   }
+  /// Every value of a repeatable flag (--defense can appear many times).
+  std::vector<std::string> values(const std::string& flag) const {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i + 1 < positional.size(); ++i)
+      if (positional[i] == flag) out.push_back(positional[i + 1]);
+    return out;
+  }
 };
 
 uarch::CpuModel cpu_from(const Args& args) {
@@ -96,6 +113,19 @@ uarch::CpuModel cpu_from(const Args& args) {
 /// accepted so scripts can be explicit either way.
 bool fast_forward_from(const Args& args) {
   return !args.has("--no-fast-forward");
+}
+
+/// The repeatable --defense flag plus the legacy --kpti/--flare/--fgkaslr
+/// aliases, as one DefenseSpec stack. Shared by every command that builds a
+/// machine or a RunSpec.
+std::vector<defense::DefenseSpec> defenses_from(const Args& args) {
+  std::vector<defense::DefenseSpec> out;
+  if (args.has("--kpti")) out.push_back(defense::parse("kpti"));
+  if (args.has("--flare")) out.push_back(defense::parse("flare"));
+  if (args.has("--fgkaslr")) out.push_back(defense::parse("fgkaslr"));
+  for (const std::string& text : args.values("--defense"))
+    out.push_back(defense::parse(text));
+  return out;
 }
 
 /// Fault-tolerance knobs shared by every runner-backed command.
@@ -196,6 +226,22 @@ int cmd_attacks() {
   return 0;
 }
 
+int cmd_defenses() {
+  std::printf("%-12s %-20s %s\n", "name", "params", "description");
+  for (const defense::DefenseInfo& d : defense::registry()) {
+    std::string params;
+    for (const defense::DefenseParamInfo& p : d.params) {
+      if (!params.empty()) params += ' ';
+      params += p.name + "=" + p.default_value;
+    }
+    std::printf("%-12s %-20s %s\n", d.name.c_str(),
+                params.empty() ? "-" : params.c_str(), d.description.c_str());
+  }
+  std::printf("\ncompose with repeated --defense flags "
+              "(e.g. --defense kpti --defense window:depth=8)\n");
+  return 0;
+}
+
 int cmd_leak(const Args& args) {
   const std::string what = args.value("--attack", "md");
   const core::AttackInfo* info = core::find_attack(what);
@@ -217,6 +263,7 @@ int cmd_leak(const Args& args) {
     return 2;
   }
   mo.noise = *profile;
+  defense::apply(defenses_from(args), mo);
   os::Machine m(mo);
   m.core().set_fast_forward(fast_forward_from(args));
 
@@ -272,12 +319,12 @@ int cmd_kaslr(const Args& args) {
     // Single shot: the interactive view, with found vs true base.
     os::MachineOptions opts;
     opts.model = cpu_from(args);
-    opts.kernel.kpti = args.has("--kpti");
-    opts.kernel.flare = args.has("--flare");
     opts.seed = std::stoull(args.value("--seed", "0"));
     if (const auto p = noise::NoiseProfile::by_name(
             args.value("--noise", "off")))
       opts.noise = *p;
+    const std::vector<defense::DefenseSpec> stack = defenses_from(args);
+    defense::apply(stack, opts);
     os::Machine m(opts);
     m.core().set_fast_forward(fast_forward_from(args));
     obs::EventLog log;
@@ -288,10 +335,11 @@ int cmd_kaslr(const Args& args) {
     const auto atk = core::make_attack("kaslr", m, opt);
     const core::AttackResult r = atk->run({});
     m.core().set_trace(nullptr);
-    std::printf("TET-KASLR on %s%s%s: %s  found %#llx true %#llx  (%.4f s, "
+    std::string defense_suffix;
+    if (!stack.empty()) defense_suffix = " +" + defense::format_list(stack);
+    std::printf("TET-KASLR on %s%s: %s  found %#llx true %#llx  (%.4f s, "
                 "%zu probes)\n",
-                m.config().name.c_str(), opts.kernel.kpti ? " +KPTI" : "",
-                opts.kernel.flare ? " +FLARE" : "",
+                m.config().name.c_str(), defense_suffix.c_str(),
                 r.success ? "BROKEN" : "held",
                 static_cast<unsigned long long>(r.found_base),
                 static_cast<unsigned long long>(r.true_base), r.seconds,
@@ -311,8 +359,7 @@ int cmd_kaslr(const Args& args) {
   spec.model = cpu_from(args);
   spec.attack = "kaslr";
   spec.trials = trials;
-  spec.kernel.kpti = args.has("--kpti");
-  spec.kernel.flare = args.has("--flare");
+  spec.defenses = defenses_from(args);
   spec.base_seed = std::stoull(args.value("--seed", "1"));
   if (const auto p = noise::NoiseProfile::by_name(
           args.value("--noise", "off")))
@@ -363,6 +410,7 @@ int cmd_chaos(const Args& args) {
   runner::RunSpec spec;
   spec.model = cpu_from(args);
   spec.attack = args.value("--attack", "cc");
+  spec.defenses = defenses_from(args);
   spec.trials = std::stoi(args.value("--trials", "12"));
   spec.base_seed = std::stoull(args.value("--seed", "12648430"));
   spec.payload_bytes = 4;
@@ -476,6 +524,7 @@ int main(int argc, char** argv) try {
   if (cmd == "--list-attacks" || args.has("--list-attacks") ||
       cmd == "attacks")
     return cmd_attacks();
+  if (cmd == "defenses") return cmd_defenses();
   if (cmd == "models") return cmd_models();
   if (cmd == "tote") return cmd_tote(args);
   if (cmd == "leak") return cmd_leak(args);
@@ -484,8 +533,8 @@ int main(int argc, char** argv) try {
   if (cmd == "matrix") return cmd_matrix(args);
   std::fprintf(stderr,
                "usage: whisper_cli <models|tote|leak|kaslr|chaos|matrix|"
-               "attacks> [options]\n  see the header comment of examples/"
-               "whisper_cli.cpp\n");
+               "attacks|defenses> [options]\n  see the header comment of "
+               "examples/whisper_cli.cpp\n");
   return 2;
 } catch (const std::exception& e) {
   // Spec/plan validation errors (bad --attack, malformed --fault-plan, ...)

@@ -27,6 +27,12 @@
 #      protocol verb in src/serve/protocol.h's kVerbs array, every flag
 #      examples/whisper_serve.cpp parses, and every flag
 #      bench/serve_soak.cpp parses must appear in docs/REPRODUCING.md.
+#  10. The defense registry (src/defense/defense.cpp) and the docs must
+#      agree: every registered defense name must be documented in both
+#      docs/REPRODUCING.md and docs/ARCHITECTURE.md, and every flag
+#      bench/defense_matrix.cpp parses must appear in the guide. The
+#      generated docs/DEFENSE_MATRIX.md must exist and mention every
+#      registered defense (a registry addition forces a report refresh).
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -172,6 +178,57 @@ for flag in $soak_flags; do
   fi
 done
 
+# The defense registry is the systematization's name authority: every name
+# in src/defense/defense.cpp's kRegistry table must be documented (backticked)
+# in both the guide and the architecture doc, and must appear in the
+# generated matrix report.
+arch_doc="$root/docs/ARCHITECTURE.md"
+matrix_doc="$root/docs/DEFENSE_MATRIX.md"
+if [[ ! -f "$arch_doc" ]]; then
+  echo "FAIL: $arch_doc does not exist"
+  fail=1
+fi
+if [[ ! -f "$matrix_doc" ]]; then
+  echo "FAIL: $matrix_doc does not exist (generate with bench/defense_matrix" \
+       "--report)"
+  fail=1
+fi
+defenses=$(sed -n '/kRegistry = {/,/^  };/p' "$root/src/defense/defense.cpp" |
+           grep -oE '^      \{"[a-z0-9_-]+"' | grep -oE '[a-z0-9_-]+' |
+           sort -u)
+if [[ -z "$defenses" ]]; then
+  echo "FAIL: could not extract the defense registry from" \
+       "src/defense/defense.cpp"
+  fail=1
+fi
+for name in $defenses; do
+  if ! grep -q -- "\`$name\`" "$guide"; then
+    echo "FAIL: defense '$name' is registered but docs/REPRODUCING.md does" \
+         "not document it"
+    fail=1
+  fi
+  if [[ -f "$arch_doc" ]] && ! grep -q -- "\`$name\`" "$arch_doc"; then
+    echo "FAIL: defense '$name' is registered but docs/ARCHITECTURE.md does" \
+         "not document it"
+    fail=1
+  fi
+  if [[ -f "$matrix_doc" ]] && ! grep -q -- "$name" "$matrix_doc"; then
+    echo "FAIL: defense '$name' is registered but docs/DEFENSE_MATRIX.md" \
+         "does not cover it — regenerate the report"
+    fail=1
+  fi
+done
+
+matrix_flags=$(grep -oE '"--[a-z-]+"' "$root/bench/defense_matrix.cpp" |
+               tr -d '"' | sort -u)
+for flag in $matrix_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: bench/defense_matrix.cpp parses $flag but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -189,6 +246,7 @@ if [[ $fail -eq 0 ]]; then
        "flags, $(echo "$perf_cols" | wc -w) perf columns," \
        "$(echo "$verbs" | wc -w) serve verbs +" \
        "$(echo "$serve_flags" | wc -w)+$(echo "$soak_flags" | wc -w)" \
-       "serve flags, all in sync"
+       "serve flags, $(echo "$defenses" | wc -w) defenses +" \
+       "$(echo "$matrix_flags" | wc -w) matrix flags, all in sync"
 fi
 exit $fail

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "defense/defense.h"
 #include "runner/runner.h"
 
 namespace whisper::runner {
@@ -12,9 +13,11 @@ std::string machine_key(const RunSpec& spec) {
   char buf[64];
   std::string k = std::to_string(static_cast<int>(spec.model));
   k += '|';
-  k += spec.kernel.kpti ? '1' : '0';
-  k += spec.kernel.flare ? '1' : '0';
-  k += spec.kernel.fgkaslr ? '1' : '0';
+  // The defense fragment is the canonical combo string — one format path
+  // (defense::format_list), shared with the JSON writer and the wire, so
+  // {.kernel = {.kpti = true}} and {.defenses = {parse("kpti")}} pool
+  // together.
+  k += defense::format_list(normalized_defenses(spec));
   k += '.';
   k += std::to_string(spec.kernel.kaslr_slot);
   k += '.';

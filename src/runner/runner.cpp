@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/attacks/registry.h"
+#include "defense/defense.h"
 #include "fault/fault.h"
 #include "os/machine.h"
 #include "runner/machine_pool.h"
@@ -68,8 +69,30 @@ void TrialOutcome::capture_unhandled(const std::string& what) {
                               0});
 }
 
+std::vector<defense::DefenseSpec> normalized_defenses(const RunSpec& spec) {
+  std::vector<defense::DefenseSpec> out;
+  const auto add = [&out](defense::DefenseSpec d) {
+    for (defense::DefenseSpec& have : out)
+      if (have.name == d.name) {
+        have = std::move(d);  // explicit spec wins over the bool alias
+        return;
+      }
+    out.push_back(std::move(d));
+  };
+  if (spec.kernel.kpti) add({.name = "kpti"});
+  if (spec.kernel.flare) add({.name = "flare"});
+  if (spec.kernel.fgkaslr) add({.name = "fgkaslr"});
+  for (const defense::DefenseSpec& d : spec.defenses) add(d);
+  return out;
+}
+
 void validate(const RunSpec& spec) {
   (void)attack_info_or_throw(spec.attack);
+  // Duplicates *within* spec.defenses are a caller error; duplicates
+  // against the legacy kernel bools are the aliasing normalized_defenses()
+  // exists to collapse.
+  defense::validate(spec.defenses);
+  defense::validate(normalized_defenses(spec));
   if (spec.retries < 0)
     throw std::invalid_argument("runner: retries must be >= 0");
   if (spec.trial_wall_budget < 0.0)
@@ -92,8 +115,13 @@ std::string RunSpec::label() const {
   out += attack;
   out += " @ ";
   out += uarch::make_config(model).name;
-  if (kernel.kpti) out += " +KPTI";
-  if (kernel.flare) out += " +FLARE";
+  // Derived from the normalized defense list, so +FGKASLR (and every future
+  // defense) shows up — the hand-rolled kpti/flare pair silently dropped it.
+  for (const defense::DefenseSpec& d : normalized_defenses(*this)) {
+    out += " +";
+    for (const char c : defense::format(d))
+      out += (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  }
   if (docker) out += " (docker)";
   if (noise.enabled()) out += " +noise:" + noise.name;
   if (adaptive) out += " (adaptive)";
@@ -113,6 +141,11 @@ os::MachineOptions machine_options(const RunSpec& spec, std::uint64_t seed) {
   mo.docker = spec.docker;
   mo.seed = seed;
   mo.noise = spec.noise;
+  // Install the defense stack last, over the fields it rewrites. An empty
+  // stack leaves mo untouched (mo.config stays unset), so defense-free
+  // specs build byte-identical machines to the pre-defense-API ones.
+  const std::vector<defense::DefenseSpec> stack = normalized_defenses(spec);
+  if (!stack.empty()) defense::apply(stack, mo);
   return mo;
 }
 

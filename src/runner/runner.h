@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "defense/defense.h"
 #include "noise/noise.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
@@ -60,6 +61,15 @@ struct RunSpec {
   std::uint64_t base_seed = 1;
   os::KernelOptions kernel{};
   bool docker = false;
+
+  /// The defense stack (defense::registry() keys + params) this cell runs
+  /// under, applied to every trial's MachineOptions in list order. The
+  /// legacy kernel.kpti/flare/fgkaslr bools still work — they are aliases:
+  /// normalized_defenses() folds them in ahead of this list, and every
+  /// consumer (label, pool key, JSON, wire) goes through it, so
+  /// {.kernel = {.kpti = true}} and {.defenses = {parse("kpti")}} name the
+  /// same cell everywhere.
+  std::vector<defense::DefenseSpec> defenses;
 
   /// Interference profile each trial's Machine runs under (noise.off() by
   /// default — the engine is then never even attached, see os::Machine).
@@ -127,11 +137,21 @@ struct RunSpec {
 };
 
 /// Validate a spec without running it: unknown attack names (the message
-/// lists the registered keys), malformed fault plans, negative retries, and
-/// stall/sleep injections with no budget to trip all throw
-/// std::invalid_argument. run()/run_many() call this before the fan-out, so
-/// a bad spec fails fast with zero trials spawned.
+/// lists the registered keys), unknown/duplicate/malformed defenses,
+/// malformed fault plans, negative retries, and stall/sleep injections with
+/// no budget to trip all throw std::invalid_argument. run()/run_many() call
+/// this before the fan-out, so a bad spec fails fast with zero trials
+/// spawned.
 void validate(const RunSpec& spec);
+
+/// The spec's effective defense stack: the legacy kernel bools (kpti, flare,
+/// fgkaslr — in that order) folded in ahead of spec.defenses, with
+/// duplicates against the bools collapsed. This is the single list every
+/// defense consumer derives from — label(), machine_key(), the JSON
+/// trajectory writer and machine_options() — so the two spellings of the
+/// same cell are indistinguishable downstream.
+[[nodiscard]] std::vector<defense::DefenseSpec> normalized_defenses(
+    const RunSpec& spec);
 
 /// Why a trial attempt failed. One TrialError is recorded per failed
 /// attempt; the enum is the JSON/metrics vocabulary ("run.errors.<name>").

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "core/attacks/registry.h"
+#include "defense/defense.h"
 #include "noise/noise.h"
 #include "stats/json.h"
 #include "uarch/config.h"
@@ -358,7 +359,25 @@ bool apply_run_field(runner::RunSpec& spec, const std::string& key,
     if (keep_seed != 0) spec.noise.seed = keep_seed;
   } else if (key == "noise_seed") {
     spec.noise.seed = want_u64(v, "noise_seed");
+  } else if (key == "defenses") {
+    // The defense stack: an array of defense::parse() strings
+    // ("kpti", "window:depth=8"). Grammar errors become protocol errors
+    // here; unknown names surface through runner::validate() on the server,
+    // keeping the registry's message contract.
+    if (!v.is_array())
+      throw ProtocolError("field 'defenses' must be an array of strings");
+    spec.defenses.clear();
+    for (const JsonValue& d : v.array) {
+      try {
+        spec.defenses.push_back(defense::parse(want_string(d, "defenses")));
+      } catch (const std::invalid_argument& e) {
+        throw ProtocolError(e.what());
+      }
+    }
   } else if (key == "kpti") {
+    // Back-compat aliases for the pre-defense-API wire: the bools land on
+    // the kernel options, which runner::normalized_defenses() folds in
+    // ahead of the "defenses" array.
     spec.kernel.kpti = want_bool(v, "kpti");
   } else if (key == "flare") {
     spec.kernel.flare = want_bool(v, "flare");
@@ -572,6 +591,34 @@ std::string response_attacks(std::uint64_t id) {
   w.key("attacks");
   w.begin_array();
   for (const std::string& name : core::attack_names()) w.value(name);
+  w.end_array();
+  // The defense grid axis, appended after the attacks so pre-defense
+  // clients keep parsing: name, docs, and declared parameters with their
+  // defaults — everything needed to spell a "defenses" run field without
+  // recompiling. Key order is fixed (invariant 11).
+  w.key("defenses");
+  w.begin_array();
+  for (const defense::DefenseInfo& d : defense::registry()) {
+    w.begin_object();
+    w.key("name");
+    w.value(d.name);
+    w.key("description");
+    w.value(d.description);
+    w.key("params");
+    w.begin_array();
+    for (const defense::DefenseParamInfo& p : d.params) {
+      w.begin_object();
+      w.key("name");
+      w.value(p.name);
+      w.key("default");
+      w.value(p.default_value);
+      w.key("description");
+      w.value(p.description);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_array();
   w.end_object();
   return w.str();

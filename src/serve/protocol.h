@@ -3,7 +3,7 @@
 // Requests (one JSON object per line):
 //   {"id":1,"verb":"run","attack":"cc","trials":4,"seed":7,...}
 //   {"id":2,"verb":"ping"}
-//   {"id":3,"verb":"list"}        — registered attack names
+//   {"id":3,"verb":"list"}        — registered attack + defense names
 //   {"id":4,"verb":"metrics"}     — server MetricsRegistry + pool gauges
 //   {"id":5,"verb":"shutdown"}    — ask the daemon to exit
 //
@@ -11,7 +11,7 @@
 //   {"id":1,"type":"trial","index":0,...}   one per trial, index order
 //   {"id":1,"type":"done",...}              terminates a run's stream
 //   {"id":2,"type":"pong"}
-//   {"id":3,"type":"attacks","attacks":[...]}
+//   {"id":3,"type":"attacks","attacks":[...],"defenses":[...]}
 //   {"id":4,"type":"metrics","metrics":{...}}
 //   {"id":5,"type":"bye"}
 //   {"id":N,"type":"error","error":"..."}   any failure (id 0 when the

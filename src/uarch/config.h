@@ -86,6 +86,20 @@ struct CpuConfig {
   int avx_power_up_cycles = 150;
   int avx_warm_cycles = 4096;
 
+  // Defense knobs (src/defense). All default off — a preset config is a
+  // defenseless machine; defense::apply() flips them on the MachineOptions
+  // config override at construction time, never on a live core.
+  /// "lfence": dispatch stalls while an older conditional branch is
+  /// unresolved, as if the compiler placed an LFENCE after every Jcc.
+  bool lfence_after_branch = false;
+  /// "window": at most this many uops may be allocated past the oldest
+  /// unresolved branch/ret/fault (0 = unlimited).
+  int speculation_window_limit = 0;
+  /// "flushclear": every machine clear also flushes `flush_on_clear_levels`
+  /// cache levels and drains the line-fill buffer.
+  bool flush_on_clear = false;
+  int flush_on_clear_levels = 1;
+
   /// TSX available for exception suppression (`transient_begin` can use a
   /// transaction instead of a signal handler — much cheaper per probe).
   bool has_tsx = true;

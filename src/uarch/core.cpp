@@ -442,9 +442,9 @@ bool Core::try_fast_forward(std::uint64_t deadline,
   } else if (idq_nonempty) {
     if (ctx.idq.front().uops <= cfg_.alloc_width) {
       if (ctx.rob.size() < static_cast<std::size_t>(cfg_.rob_size) &&
-          ctx.waiting_count < cfg_.rs_size)
+          ctx.waiting_count < cfg_.rs_size && !alloc_window_clamped(ctx))
         return false;  // would allocate
-      alloc_resource_stall = true;  // blocked on ROB/RS tokens
+      alloc_resource_stall = true;  // blocked on ROB/RS/window tokens
     }
   }
 
@@ -723,7 +723,7 @@ void Core::step_alloc(int t) {
 
   while (!ctx.idq.empty() && budget >= ctx.idq.front().uops) {
     if (ctx.rob.size() >= static_cast<std::size_t>(cfg_.rob_size) ||
-        ctx.waiting_count >= cfg_.rs_size) {
+        ctx.waiting_count >= cfg_.rs_size || alloc_window_clamped(ctx)) {
       pmu_.inc(PmuEvent::RESOURCE_STALLS_ANY);
       if (cfg_.vendor == Vendor::Amd)
         pmu_.inc(
@@ -817,6 +817,30 @@ bool Core::fence_blocks(const ThreadCtx& ctx, std::uint64_t seq) const {
   return !ctx.fence_seqs.empty() && ctx.fence_seqs.front() < seq;
 }
 
+bool Core::alloc_window_clamped(const ThreadCtx& ctx) const {
+  // "window" defense (defense::registry()): allocation stops once
+  // speculation_window_limit uops sit younger than the oldest unresolved
+  // window opener — the same opener set older_window_exists() scans for.
+  // Side-effect free and constant across an inert span (entry states only
+  // change at completion/retire, which bound the fast-forward horizon), so
+  // step_alloc and the try_fast_forward dry run share it — the invariant-10
+  // contract for new allocation gates.
+  if (cfg_.speculation_window_limit <= 0) return false;
+  if (ctx.pending_faults == 0 && ctx.pending_ret == 0 && ctx.pending_jcc == 0)
+    return false;
+  for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+    const RobEntry& e = ctx.rob[i];
+    const bool opener =
+        e.fault != mem::Fault::None ||
+        ((e.inst.op == Opcode::Jcc || e.inst.op == Opcode::Ret) &&
+         e.state != EntryState::Done);
+    if (opener)
+      return ctx.rob.size() - (i + 1) >=
+             static_cast<std::size_t>(cfg_.speculation_window_limit);
+  }
+  return false;
+}
+
 bool Core::older_window_exists(const ThreadCtx& ctx,
                                std::uint64_t seq) const {
   if (ctx.pending_faults == 0 && ctx.pending_ret == 0 && ctx.pending_jcc == 0)
@@ -863,6 +887,20 @@ bool Core::issue_ready(ThreadCtx& ctx, const RobEntry& e) {
 
   // Dispatch serialisation: LFENCE/MFENCE block younger issue.
   if (fence_blocks(ctx, e.seq)) return false;
+
+  // "lfence" defense (defense::registry()): as if the compiler placed an
+  // LFENCE after every Jcc — nothing younger than an unresolved conditional
+  // branch may issue. The branch itself still issues (the scan stops at
+  // e.seq), so resolution always makes progress. Side-effect free like the
+  // rest of this predicate; the fast-forward dry run shares it unchanged.
+  if (cfg_.lfence_after_branch && ctx.pending_jcc > 0) {
+    for (std::size_t i = 0; i < ctx.rob.size(); ++i) {
+      const RobEntry& o = ctx.rob[i];
+      if (o.seq >= e.seq) break;
+      if (o.inst.op == Opcode::Jcc && o.state != EntryState::Done)
+        return false;
+    }
+  }
 
   // Fences (and RDTSCP's wait-for-older semantics) hold issue until all
   // older entries complete. `e` itself is non-Done, so more than one
@@ -1435,6 +1473,19 @@ void Core::machine_clear(int t, RobEntry& faulting) {
   const mem::Fault fault_kind = faulting.fault;
   squash_all(ctx);
   ctx.idq.clear();
+
+  // "flushclear" defense (defense::registry()): the clear also scrubs the
+  // microarchitectural residue the transient window deposited — caches per
+  // the configured level count, and the line-fill buffer always (its stale
+  // slots are the MDS substrate). Clears only fire on the structural path
+  // (a Done ROB head forces try_fast_forward to bail), so fast-forward
+  // identity is untouched.
+  if (cfg_.flush_on_clear) {
+    mem_.l1().flush_all();
+    if (cfg_.flush_on_clear_levels >= 2) mem_.l2().flush_all();
+    if (cfg_.flush_on_clear_levels >= 3) mem_.l3().flush_all();
+    mem_.lfb().clear();
+  }
 
   const std::uint64_t stall = static_cast<std::uint64_t>(
       cfg_.machine_clear_cycles + base_cost + extra);

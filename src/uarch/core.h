@@ -453,6 +453,10 @@ class Core {
                                   std::uint64_t seq) const;
   [[nodiscard]] bool older_window_exists(const ThreadCtx& ctx,
                                          std::uint64_t seq) const;
+  /// "window" defense gate: allocation blocked because the configured
+  /// transient-depth clamp is full. Side-effect free — shared between
+  /// step_alloc and the fast-forward dry run (invariant 10).
+  [[nodiscard]] bool alloc_window_clamped(const ThreadCtx& ctx) const;
 
   void trace(int thread, TraceEvent event, const RobEntry* e = nullptr,
              std::uint64_t count = 0);

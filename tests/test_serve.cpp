@@ -186,7 +186,7 @@ TEST(ServeGolden, PingPongExactBytes) {
   server.stop();
 }
 
-TEST(ServeGolden, ListNamesEveryRegisteredAttackInRegistryOrder) {
+TEST(ServeGolden, ListNamesEveryRegisteredAttackAndDefenseInRegistryOrder) {
   LoopbackTransport transport;
   Server server(transport, {});
   server.start();
@@ -194,7 +194,25 @@ TEST(ServeGolden, ListNamesEveryRegisteredAttackInRegistryOrder) {
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(
       lines[0],
-      R"({"id":3,"type":"attacks","attacks":["cc","md","zbl","rsb","v1","kaslr"]})");
+      R"x({"id":3,"type":"attacks","attacks":["cc","md","zbl","rsb","v1","kaslr"],)x"
+      R"x("defenses":[{"name":"kpti","description":"kernel page-table isolation: )x"
+      R"x(user view keeps only the trampoline mapped (paper section 6.2)",)x"
+      R"x("params":[]},{"name":"flare","description":"dummy mappings over the )x"
+      R"x(unmapped kernel gaps so mapped and unmapped probes fault alike",)x"
+      R"x("params":[]},{"name":"fgkaslr","description":"function-grained KASLR: )x"
+      R"x(shuffle offsets inside the kernel image at boot","params":[]},)x"
+      R"x({"name":"lfence","description":"compiler serialization: dispatch )x"
+      R"x(stalls after every unresolved conditional branch, as if an LFENCE )x"
+      R"x(followed each Jcc","params":[]},{"name":"window","description":)x"
+      R"x("speculation-window narrowing: clamp how many uops may allocate past )x"
+      R"x(the oldest unresolved branch/fault","params":[{"name":"depth",)x"
+      R"x("default":"8","description":"max uops allocated past an unresolved )x"
+      R"x(opener"}]},{"name":"retpoline","description":"retpoline-style RSB )x"
+      R"x(hygiene: returns never speculate from the RSB; the front end waits )x"
+      R"x(for the real target","params":[]},{"name":"flushclear","description":)x"
+      R"x("flush-on-clear: every machine clear also flushes the caches and )x"
+      R"x(drains the line-fill buffer","params":[{"name":"levels","default":)x"
+      R"x("1","description":"cache levels flushed on each clear (1-3)"}]}]})x");
   server.stop();
 }
 
