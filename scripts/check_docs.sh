@@ -33,6 +33,11 @@
 #      bench/defense_matrix.cpp parses must appear in the guide. The
 #      generated docs/DEFENSE_MATRIX.md must exist and mention every
 #      registered defense (a registry addition forces a report refresh).
+#  11. Same for the attack registry (src/core/attacks/registry.cpp):
+#      every registered attack name must be documented (backticked) in
+#      docs/REPRODUCING.md, docs/ARCHITECTURE.md and README.md, and must
+#      appear in the generated docs/DEFENSE_MATRIX.md — registering a new
+#      attack without docs or a matrix refresh fails this check.
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -219,6 +224,42 @@ for name in $defenses; do
   fi
 done
 
+# The attack registry is the name authority on the other axis of the
+# systematization matrix: every name in src/core/attacks/registry.cpp's
+# table must be documented (backticked) in the guide, the architecture doc
+# and the README, and must appear in the generated matrix report.
+readme="$root/README.md"
+attacks=$(sed -n '/std::vector<AttackInfo> registry = {/,/^  };/p' \
+          "$root/src/core/attacks/registry.cpp" |
+          grep -oE '^      \{"[a-z0-9_-]+"' | grep -oE '[a-z0-9_-]+' |
+          sort -u)
+if [[ -z "$attacks" ]]; then
+  echo "FAIL: could not extract the attack registry from" \
+       "src/core/attacks/registry.cpp"
+  fail=1
+fi
+for name in $attacks; do
+  if ! grep -q -- "\`$name\`" "$guide"; then
+    echo "FAIL: attack '$name' is registered but docs/REPRODUCING.md does" \
+         "not document it"
+    fail=1
+  fi
+  if [[ -f "$arch_doc" ]] && ! grep -q -- "\`$name\`" "$arch_doc"; then
+    echo "FAIL: attack '$name' is registered but docs/ARCHITECTURE.md does" \
+         "not document it"
+    fail=1
+  fi
+  if [[ -f "$readme" ]] && ! grep -q -- "\`$name\`" "$readme"; then
+    echo "FAIL: attack '$name' is registered but README.md does not list it"
+    fail=1
+  fi
+  if [[ -f "$matrix_doc" ]] && ! grep -q -- "$name" "$matrix_doc"; then
+    echo "FAIL: attack '$name' is registered but docs/DEFENSE_MATRIX.md" \
+         "does not cover it — regenerate the report"
+    fail=1
+  fi
+done
+
 matrix_flags=$(grep -oE '"--[a-z-]+"' "$root/bench/defense_matrix.cpp" |
                tr -d '"' | sort -u)
 for flag in $matrix_flags; do
@@ -247,6 +288,7 @@ if [[ $fail -eq 0 ]]; then
        "$(echo "$verbs" | wc -w) serve verbs +" \
        "$(echo "$serve_flags" | wc -w)+$(echo "$soak_flags" | wc -w)" \
        "serve flags, $(echo "$defenses" | wc -w) defenses +" \
-       "$(echo "$matrix_flags" | wc -w) matrix flags, all in sync"
+       "$(echo "$matrix_flags" | wc -w) matrix flags," \
+       "$(echo "$attacks" | wc -w) attacks, all in sync"
 fi
 exit $fail

@@ -71,6 +71,31 @@ int ArgmaxAnalyzer::decode_by_mean() const {
   return best;
 }
 
+double ArgmaxAnalyzer::mean_confidence() const {
+  const auto means = mean_tote_by_value();
+  bool have = false;
+  double top = 0.0, second = 0.0, bottom = 0.0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    if (count_[i] == 0) continue;
+    // Fold Min polarity into Max by negating: "top" is always the winner.
+    const double m = polarity_ == Polarity::Max ? means[i] : -means[i];
+    if (!have) {
+      have = true;
+      top = second = bottom = m;
+      continue;
+    }
+    if (m > top) {
+      second = top;
+      top = m;
+    } else if (m > second || second == top) {
+      second = m;
+    }
+    bottom = std::min(bottom, m);
+  }
+  if (!have || top == bottom) return 0.0;
+  return (top - second) / (top - bottom);
+}
+
 std::array<double, 256> ArgmaxAnalyzer::mean_tote_by_value() const {
   std::array<double, 256> out{};
   for (std::size_t i = 0; i < 256; ++i)

@@ -40,6 +40,13 @@ class ArgmaxAnalyzer {
   /// produce occasional outliers that steal batch votes.
   [[nodiscard]] int decode_by_mean() const;
 
+  /// Margin confidence of decode_by_mean() in [0, 1]: (top mean − runner-up
+  /// mean) / (top mean − bottom mean), extremes per polarity, over test
+  /// values with samples. 1 means one value stands clear of a flat field;
+  /// 0 means the means are flat (no signal) or fewer than two values have
+  /// samples.
+  [[nodiscard]] double mean_confidence() const;
+
   /// Vote-margin confidence of decode() in [0, 1]: (top votes − runner-up
   /// votes) / batches. 1 means every batch voted the same value; 0 means a
   /// tie (or no batches yet). This is what the adaptive escalation loop

@@ -51,7 +51,11 @@ AttackResult Attack::run(std::span<const std::uint8_t> payload) {
 
 std::uint8_t Attack::decode_adaptive(AttackResult& r, ArgmaxAnalyzer& an,
                                      int initial,
-                                     const std::function<void()>& run_batch) {
+                                     const std::function<void()>& run_batch,
+                                     DecodeBy by) {
+  const auto conf = [&] {
+    return by == DecodeBy::Mean ? an.mean_confidence() : an.confidence();
+  };
   const int n0 = std::max(1, opt_.batches.value_or(initial));
   int done = 0;
   const auto run_n = [&](int n) {
@@ -69,14 +73,15 @@ std::uint8_t Attack::decode_adaptive(AttackResult& r, ArgmaxAnalyzer& an,
         opt_.batch_budget > 0 ? std::max(opt_.batch_budget, n0) : 8 * n0;
     // Escalate by doubling the total each pass — confidence either clears
     // the threshold on the way or the budget bounds the spend.
-    while (an.confidence() < opt_.confidence_threshold && done < budget)
+    while (conf() < opt_.confidence_threshold && done < budget)
       run_n(std::min(done, budget - done));
-    if (an.confidence() < opt_.confidence_threshold) ++r.gave_up;
+    if (conf() < opt_.confidence_threshold) ++r.gave_up;
   }
 
-  r.confidence = std::min(r.confidence, an.confidence());
+  r.confidence = std::min(r.confidence, conf());
   r.tote.merge(an.tote_histogram());
-  return static_cast<std::uint8_t>(an.decode());
+  return static_cast<std::uint8_t>(by == DecodeBy::Mean ? an.decode_by_mean()
+                                                        : an.decode());
 }
 
 }  // namespace whisper::core

@@ -140,14 +140,23 @@ class Attack {
   virtual void execute(std::span<const std::uint8_t> payload,
                        AttackResult& r) = 0;
 
+  /// How decode_adaptive() turns the analyzer's samples into a byte.
+  /// Votes is the paper's per-batch argmax ballot; Mean decodes (and
+  /// measures confidence) from the per-value mean ToTE — robust when a
+  /// value's window only opens in a minority of batches, as happens for
+  /// rewind's predictor-phase-sensitive probes.
+  enum class DecodeBy : std::uint8_t { Votes, Mean };
+
   /// Shared per-byte decode loop. `run_batch` performs one full test-value
   /// sweep, feeding `an` (and bumping r.probes); the base runs `initial`
-  /// batches, then — under opt_.adaptive — doubles the total until the vote
-  /// margin clears the threshold or the budget cap. Folds the analyzer's
-  /// confidence (min) and histogram into `r` and returns the decoded byte.
+  /// batches, then — under opt_.adaptive — doubles the total until the
+  /// decode margin (per `by`) clears the threshold or the budget cap. Folds
+  /// the analyzer's confidence (min) and histogram into `r` and returns the
+  /// decoded byte.
   std::uint8_t decode_adaptive(AttackResult& r, ArgmaxAnalyzer& an,
                                int initial,
-                               const std::function<void()>& run_batch);
+                               const std::function<void()>& run_batch,
+                               DecodeBy by = DecodeBy::Votes);
 
   /// Budget checkpoint: fire the injection hook (if any), then throw
   /// BudgetExceeded when the attack has burned past its simulated-cycle or

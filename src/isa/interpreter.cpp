@@ -150,6 +150,12 @@ InterpreterResult interpret(const Program& prog,
         R(in.dst) *= R(in.src);
         r.flags = alu_flags(R(in.dst), false, false);
         break;
+      case Opcode::FdivRR: {
+        const std::uint64_t d = R(in.src);
+        R(in.dst) = d == 0 ? ~0ull : R(in.dst) / d;
+        r.flags = alu_flags(R(in.dst), false, false);
+        break;
+      }
       case Opcode::Neg: {
         const std::uint64_t a = R(in.dst);
         R(in.dst) = static_cast<std::uint64_t>(-static_cast<std::int64_t>(a));

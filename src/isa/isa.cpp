@@ -46,6 +46,7 @@ std::string to_string(Opcode op) {
     case Opcode::ShlRI:     return "shl";
     case Opcode::ShrRI:     return "shr";
     case Opcode::ImulRR:    return "imul";
+    case Opcode::FdivRR:    return "fdiv";
     case Opcode::Neg:       return "neg";
     case Opcode::Not:       return "not";
     case Opcode::Lea:       return "lea";
@@ -79,7 +80,7 @@ bool Instruction::writes_flags() const noexcept {
     case Opcode::AndRI: case Opcode::OrRI: case Opcode::XorRR:
     case Opcode::ShlRI: case Opcode::ShrRI:
     case Opcode::CmpRI: case Opcode::CmpRR: case Opcode::TestRR:
-    case Opcode::ImulRR: case Opcode::Neg:
+    case Opcode::ImulRR: case Opcode::FdivRR: case Opcode::Neg:
       return true;
     default:
       return false;
@@ -168,6 +169,8 @@ std::string Instruction::to_string() const {
     case Opcode::Rdtscp:   s << "rdtscp -> " << isa::to_string(dst); break;
     case Opcode::Pause:    s << "pause"; break;
     case Opcode::ImulRR:   s << "imul " << isa::to_string(dst) << ", "
+                             << isa::to_string(src); break;
+    case Opcode::FdivRR:   s << "fdiv " << isa::to_string(dst) << ", "
                              << isa::to_string(src); break;
     case Opcode::Neg:      s << "neg " << isa::to_string(dst); break;
     case Opcode::Not:      s << "not " << isa::to_string(dst); break;

@@ -71,6 +71,12 @@ enum class Opcode : std::uint8_t {
   AndRI, OrRI, XorRR,
   ShlRI, ShrRI,
   ImulRR,    // dst <- dst * src (3-cycle latency)
+  FdivRR,    // dst <- dst / src (0 divisor yields all-ones). Executes on the
+             // single non-pipelined divider: a second divide cannot issue
+             // until the first vacates the unit — the SpectreRewind
+             // contention channel's substrate. Divisors of 0/1 early-exit
+             // with a short latency (no quotient iterations), which is what
+             // makes the occupancy data-dependent.
   Neg,       // dst <- -dst
   Not,       // dst <- ~dst (flags unchanged)
   Lea,       // dst <- base + disp (address generation, no memory access)

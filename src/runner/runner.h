@@ -55,7 +55,8 @@ class MachinePool;
 /// read from globals, which is what makes the fan-out safe.
 struct RunSpec {
   uarch::CpuModel model = uarch::CpuModel::KabyLakeI7_7700;
-  /// core::attack_registry() key ("cc", "md", "zbl", "rsb", "v1", "kaslr").
+  /// core::attack_registry() key ("cc", "md", "zbl", "rsb", "v1", "rewind",
+  /// "kaslr").
   std::string attack = "kaslr";
   int trials = 1;
   std::uint64_t base_seed = 1;

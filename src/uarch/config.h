@@ -52,6 +52,15 @@ struct CpuConfig {
   int store_ports = 1;
   int branch_ports = 2;
 
+  /// The divider is a single non-pipelined unit: while one divide iterates,
+  /// no other divide may issue (divider_busy_until_ in Core). A divide's
+  /// occupancy is a persistent side effect of *execution* — a transiently
+  /// issued FDIV keeps the unit busy after its squash, like a cache fill —
+  /// which is the SpectreRewind contention channel's substrate. Divisors of
+  /// 0/1 need no quotient iterations and early-exit in div_fast_latency.
+  int div_latency = 24;
+  int div_fast_latency = 2;
+
   // Control-flow penalties (cycles).
   int resteer_cycles = 12;       // frontend bubble after a mispredict resteer
   int recovery_extra_cycles = 6; // allocation stall while the RAT recovers

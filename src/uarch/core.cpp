@@ -28,7 +28,8 @@ Reg reg_a(const Instruction& in) {
     case Opcode::CmpRI:
     case Opcode::AddRR: case Opcode::SubRR: case Opcode::XorRR:
     case Opcode::CmpRR: case Opcode::TestRR:
-    case Opcode::ImulRR: case Opcode::Neg: case Opcode::Not:
+    case Opcode::ImulRR: case Opcode::FdivRR:
+    case Opcode::Neg: case Opcode::Not:
     case Opcode::Cmov:
       return in.dst;
     case Opcode::Lea:
@@ -49,7 +50,7 @@ Reg reg_b(const Instruction& in) {
       return in.src;
     case Opcode::AddRR: case Opcode::SubRR: case Opcode::XorRR:
     case Opcode::CmpRR: case Opcode::TestRR:
-    case Opcode::ImulRR: case Opcode::Cmov:
+    case Opcode::ImulRR: case Opcode::FdivRR: case Opcode::Cmov:
       return in.src;
     default:
       return Reg::None;
@@ -65,7 +66,8 @@ Reg reg_written(const Instruction& in) {
     case Opcode::SubRI: case Opcode::SubRR:
     case Opcode::AndRI: case Opcode::OrRI: case Opcode::XorRR:
     case Opcode::ShlRI: case Opcode::ShrRI:
-    case Opcode::ImulRR: case Opcode::Neg: case Opcode::Not:
+    case Opcode::ImulRR: case Opcode::FdivRR:
+    case Opcode::Neg: case Opcode::Not:
     case Opcode::Lea: case Opcode::Cmov:
     case Opcode::Rdtsc: case Opcode::Rdtscp:
       return in.dst;
@@ -153,11 +155,13 @@ void Core::account_alloc(ThreadCtx& ctx, const RobEntry& e) {
   if (in.op == Opcode::Clflush) ++ctx.pending_clflush;
   if (in.op == Opcode::Jcc) ++ctx.pending_jcc;
   if (in.op == Opcode::Ret) ++ctx.pending_ret;
+  if (in.op == Opcode::FdivRR) ++ctx.pending_div;
 }
 
 void Core::account_issue(ThreadCtx& ctx, const RobEntry& e) {
   --ctx.waiting_count;
   if (e.inst.is_load()) ++ctx.issued_loads;
+  if (e.inst.op == Opcode::FdivRR) --ctx.pending_div;
 }
 
 void Core::account_done(ThreadCtx& ctx, const RobEntry& e) {
@@ -176,7 +180,10 @@ void Core::account_done(ThreadCtx& ctx, const RobEntry& e) {
 
 void Core::account_remove(ThreadCtx& ctx, const RobEntry& e) {
   switch (e.state) {
-    case EntryState::Waiting: --ctx.waiting_count; break;
+    case EntryState::Waiting:
+      --ctx.waiting_count;
+      if (e.inst.op == Opcode::FdivRR) --ctx.pending_div;
+      break;
     case EntryState::Issued:
       if (e.inst.is_load()) --ctx.issued_loads;
       break;
@@ -275,6 +282,7 @@ void Core::reset(std::uint64_t seed) {
   rng_ = stats::Xoshiro256(seed ^ 0xc04e5eedULL);
   cycle_ = 0;
   avx_warm_until_ = 0;
+  divider_busy_until_ = 0;
   shared_frontend_busy_until_ = 0;
   nthreads_ = 1;
   for (ThreadCtx& ctx : ctx_) recycle(ctx);
@@ -429,6 +437,15 @@ bool Core::try_fast_forward(std::uint64_t deadline,
       return false;
     }
   }
+
+  // Divider occupancy: a Waiting divide that passed nothing above may still
+  // be gated purely on the busy divider, and the divide that latched the
+  // occupancy may have been squashed (no Issued entry bounds the horizon
+  // for it). The pending_div census says whether the gate can matter; when
+  // it can, the unit's release is a wake-up the skip must not overshoot.
+  if (ctx.pending_div > 0 && divider_busy_until_ > cycle_ &&
+      divider_busy_until_ < horizon)
+    horizon = divider_busy_until_;
 
   // Allocation: would step_alloc change anything this cycle, and does it
   // charge the resource-stall events while blocked?
@@ -885,6 +902,12 @@ void Core::step_issue() {
 bool Core::issue_ready(ThreadCtx& ctx, const RobEntry& e) {
   const Instruction& in = e.inst;
 
+  // Non-pipelined divider: a divide cannot issue while the unit iterates on
+  // an earlier one — regardless of which (possibly squashed) divide latched
+  // the occupancy. Side-effect free like every check here; the fast-forward
+  // dry run shares it, with its horizon clamped to divider_busy_until_.
+  if (in.op == Opcode::FdivRR && cycle_ < divider_busy_until_) return false;
+
   // Dispatch serialisation: LFENCE/MFENCE block younger issue.
   if (fence_blocks(ctx, e.seq)) return false;
 
@@ -1048,6 +1071,17 @@ void Core::execute_entry(ThreadCtx& ctx, RobEntry& e) {
       e.flags_out = alu_flags(e.result, false, false);
       latency = 3;
       break;
+    case Opcode::FdivRR: {
+      // The single divider iterates on the quotient for the full latency;
+      // trivial divisors (0/1) early-exit. Occupancy is latched here — at
+      // execution — so a transiently issued divide leaves it behind after
+      // its squash, exactly like a transient load leaves a cache fill.
+      e.result = b == 0 ? ~0ull : a / b;
+      e.flags_out = alu_flags(e.result, false, false);
+      latency = b <= 1 ? cfg_.div_fast_latency : cfg_.div_latency;
+      divider_busy_until_ = cycle_ + static_cast<std::uint64_t>(latency);
+      break;
+    }
     case Opcode::Neg: {
       e.result = static_cast<std::uint64_t>(-static_cast<std::int64_t>(a));
       e.flags_out = alu_flags(e.result, a != 0, false);
@@ -1473,6 +1507,10 @@ void Core::machine_clear(int t, RobEntry& faulting) {
   const mem::Fault fault_kind = faulting.fault;
   squash_all(ctx);
   ctx.idq.clear();
+  // The pipeline flush drains the execution units with everything else: an
+  // in-flight divide is abandoned, so its occupancy does not survive into
+  // the post-clear resume (unlike a resteer squash, which leaves it).
+  divider_busy_until_ = 0;
 
   // "flushclear" defense (defense::registry()): the clear also scrubs the
   // microarchitectural residue the transient window deposited — caches per
@@ -1544,6 +1582,7 @@ void Core::inject_interrupt(std::uint64_t handler_cycles) {
     trace_raw(t, TraceEvent::MachineClear, resume, isa::Opcode::Nop, 0);
     squash_all(ctx);
     ctx.idq.clear();
+    divider_busy_until_ = 0;  // the flush drains the divider too
 
     const std::uint64_t stall =
         cycle_ + handler_cycles +

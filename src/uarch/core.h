@@ -367,6 +367,10 @@ class Core {
     int pending_jcc = 0;      // conditional branches not yet Done
     int pending_ret = 0;      // returns not yet Done
     int pending_faults = 0;   // entries carrying a deferred fault
+    /// Divides still Waiting. Non-zero means divider occupancy can gate an
+    /// issue, so the fast-forward horizon must stop at divider_busy_until_
+    /// — the census half of the divider's invariant-10 contract.
+    int pending_div = 0;
 
     // Transient-window bookkeeping.
     bool window_mispredict = false;
@@ -474,6 +478,13 @@ class Core {
 
   std::uint64_t cycle_ = 0;
   std::uint64_t avx_warm_until_ = 0;  // AVX power-gating state
+  /// Non-pipelined divider occupancy: no divide issues before this cycle.
+  /// Set at divide issue, it outlives a squash of the divide that set it
+  /// (the SpectreRewind residue); cleared only by machine clears,
+  /// interrupts and reset(). issue_ready() gates on it and
+  /// try_fast_forward() clamps its horizon to it, so both execution modes
+  /// honour the occupancy identically (invariant 10).
+  std::uint64_t divider_busy_until_ = 0;
   std::uint64_t shared_frontend_busy_until_ = 0;
   int nthreads_ = 1;
   std::array<ThreadCtx, 2> ctx_{};

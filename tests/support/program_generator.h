@@ -97,7 +97,7 @@ class ProgramGenerator {
                    int& label_id) {
     using isa::Cond;
     using isa::Reg;
-    switch (rng_.next_below(21)) {
+    switch (rng_.next_below(23)) {
       case 0: b.mov(pick(), small_imm()); break;
       case 1: b.mov(pick(), pick()); break;
       case 2: b.add(pick(), small_imm()); break;
@@ -153,6 +153,13 @@ class ProgramGenerator {
         break;
       }
       case 20: b.clflush(Reg::R14, mem_disp()); break;
+      case 21: b.fdiv(pick(), pick()); break;  // occupies the divider port
+      case 22: {  // back-to-back divides: serialized on the one divider,
+                  // exercising the busy-until latch in both engines
+        b.fdiv(pick(), pick());
+        b.fdiv(pick(), pick());
+        break;
+      }
     }
   }
 

@@ -223,9 +223,9 @@ TEST(AdaptiveDecoding, RecoversCovertChannelUnderDesktopNoise) {
 // Registry round-trip
 // ---------------------------------------------------------------------------
 
-TEST(AttackRegistry, AllSixAttacksRoundTrip) {
-  const std::vector<std::string> expect = {"cc",  "md", "zbl",
-                                           "rsb", "v1", "kaslr"};
+TEST(AttackRegistry, AllSevenAttacksRoundTrip) {
+  const std::vector<std::string> expect = {"cc", "md",     "zbl",  "rsb",
+                                           "v1", "rewind", "kaslr"};
   EXPECT_EQ(core::attack_names(), expect);
 
   const std::vector<std::uint8_t> payload = bytes_of("R");

@@ -30,6 +30,7 @@
 
 #include "core/attacks/common.h"
 #include "core/attacks/meltdown.h"
+#include "core/attacks/rewind.h"
 #include "core/gadgets.h"
 #include "obs/chrome_trace.h"
 #include "obs/event_log.h"
@@ -214,6 +215,85 @@ TEST(GoldenTrace, Fig1StreamHasTheTetShape) {
   EXPECT_TRUE(machine_clear) << "window closed without a machine clear";
   EXPECT_TRUE(tsx_abort) << "the TSX window must suppress via abort";
   EXPECT_TRUE(resteer) << "recovery must resteer the front end";
+}
+
+// ---------------------------------------------------------------------------
+// 1b. Golden trace: the SpectreRewind contention probe. The divider is the
+// channel here — the golden pins the serialized fdiv issue cadence, and the
+// shape test asserts the stall is a property of the trace (and so of the
+// Chrome export built from it), not of the decoder.
+// ---------------------------------------------------------------------------
+
+std::array<std::uint64_t, isa::kNumRegs> rewind_regs(std::uint64_t index,
+                                                     std::uint8_t test_value) {
+  using core::SpectreRewind;
+  std::array<std::uint64_t, isa::kNumRegs> regs{};
+  regs[static_cast<std::size_t>(isa::Reg::RDI)] = SpectreRewind::kLenAddr;
+  regs[static_cast<std::size_t>(isa::Reg::RSI)] = index;
+  regs[static_cast<std::size_t>(isa::Reg::RDX)] = SpectreRewind::kArrayBase;
+  regs[static_cast<std::size_t>(isa::Reg::RBX)] = test_value;
+  return regs;
+}
+
+/// One out-of-bounds rewind probe with a MATCHING test value — the case
+/// where the transient FDIV picks the hard divisor and steals the divider
+/// from the receiver chain — traced after in-bounds training runs so the
+/// bounds branch predicts not-taken.
+obs::EventLog rewind_contention_log() {
+  using core::SpectreRewind;
+  os::Machine m(fig1_options());
+  m.poke64(SpectreRewind::kLenAddr, SpectreRewind::kArrayLen);
+  for (std::uint64_t i = 0; i < SpectreRewind::kArrayLen; ++i)
+    m.poke8(SpectreRewind::kArrayBase + i, static_cast<std::uint8_t>(i));
+  m.poke8(SpectreRewind::kArrayBase + SpectreRewind::kSecretOffset, kSecret);
+
+  const core::GadgetProgram g = core::make_rewind_gadget();
+  for (std::uint64_t t = 0; t < 4; ++t)
+    (void)core::run_tote(m, g,
+                         rewind_regs(t % SpectreRewind::kArrayLen, kSecret));
+  obs::EventLog log;
+  m.core().set_trace(&log);
+  (void)core::run_tote(m, g,
+                       rewind_regs(SpectreRewind::kSecretOffset, kSecret));
+  m.core().set_trace(nullptr);
+  return log;
+}
+
+TEST(GoldenTrace, RewindContentionEventStream) {
+  const obs::EventLog log = rewind_contention_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_TRUE(matches_golden("rewind_contention_trace.golden",
+                             render_trace(log.records())));
+}
+
+TEST(GoldenTrace, RewindStreamShowsTheDividerStall) {
+  // Independent of golden bytes: the non-pipelined divider must serialize
+  // the fdiv stream. Every gap between consecutive fdiv issues is at least
+  // div_latency (each receiver divide waits out its predecessor's
+  // occupancy), and the squashed transient fdiv appears in the stream —
+  // its residue is the channel.
+  const obs::EventLog log = rewind_contention_log();
+  std::vector<std::uint64_t> fdiv_issues;
+  bool fdiv_squashed = false;
+  for (const uarch::TraceRecord& r : log.records()) {
+    if (r.op != isa::Opcode::FdivRR) continue;
+    if (r.event == uarch::TraceEvent::Issue) fdiv_issues.push_back(r.cycle);
+    if (r.event == uarch::TraceEvent::Squash) fdiv_squashed = true;
+  }
+  os::Machine probe(fig1_options());
+  const std::uint64_t div_latency =
+      static_cast<std::uint64_t>(probe.config().div_latency);
+  ASSERT_GE(fdiv_issues.size(), 3u) << "receiver chain not visible";
+  for (std::size_t i = 1; i < fdiv_issues.size(); ++i) {
+    EXPECT_GE(fdiv_issues[i] - fdiv_issues[i - 1], div_latency)
+        << "divides " << (i - 1) << " and " << i
+        << " overlapped on the single divider";
+  }
+  EXPECT_TRUE(fdiv_squashed)
+      << "the transient FDIV never entered (or never left) the wrong path";
+  // The stall survives into the Chrome export: the fdiv slices are there.
+  const std::string json = obs::to_chrome_trace(log);
+  EXPECT_NE(json.find("fdiv"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

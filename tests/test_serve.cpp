@@ -194,7 +194,8 @@ TEST(ServeGolden, ListNamesEveryRegisteredAttackAndDefenseInRegistryOrder) {
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(
       lines[0],
-      R"x({"id":3,"type":"attacks","attacks":["cc","md","zbl","rsb","v1","kaslr"],)x"
+      R"x({"id":3,"type":"attacks","attacks":["cc","md","zbl","rsb","v1",)x"
+      R"x("rewind","kaslr"],)x"
       R"x("defenses":[{"name":"kpti","description":"kernel page-table isolation: )x"
       R"x(user view keeps only the trampoline mapped (paper section 6.2)",)x"
       R"x("params":[]},{"name":"flare","description":"dummy mappings over the )x"
@@ -227,7 +228,7 @@ TEST(ServeGolden, UnknownAttackKeepsTheRunnerMessageContract) {
   // it — the serve layer forwards the runner's diagnostics untouched.
   EXPECT_EQ(lines[0],
             R"x({"id":7,"type":"error","error":"runner: unknown attack )x"
-            R"x('kalsr' (registered: cc, md, zbl, rsb, v1, kaslr)"})x");
+            R"x('kalsr' (registered: cc, md, zbl, rsb, v1, rewind, kaslr)"})x");
   server.stop();
 }
 
