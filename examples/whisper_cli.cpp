@@ -19,6 +19,11 @@
 //                       [--seed S] [--retries R] [--fault-plan PLAN]
 //                       [--trial-cycle-budget C] [--json PATH]
 //   whisper_cli matrix  [--jobs J]
+//   whisper_cli sweep   --endpoints LIST [--attack NAME] [--cpu N]
+//                       [--trials T] [--seed S] [--defense SPEC]...
+//                       [--noise PROFILE] [--chunk C] [--deadline-ms MS]
+//                       [--connect-timeout-ms MS] [--failures F]
+//                       [--flaky-plan PLAN] [--verify] [--json PATH]
 //   whisper_cli attacks                 (also: --list-attacks anywhere)
 //   whisper_cli defenses                (registered defenses + parameters)
 //   whisper_cli models
@@ -34,6 +39,17 @@
 // recovered every trial and is bit-identical to the clean one. Exit 0 only
 // on full recovery; the per-class error counts are printed either way.
 // The same fault flags work on `kaslr` sweeps.
+//
+// `sweep` is the distributed runner: it shards --trials across a pool of
+// whisper_serve daemons (--endpoints takes a comma-separated list of
+// `host:port`, `tcp:host:port`, or `unix:/path` addresses) and merges the
+// responses by trial index. Endpoint failures are survived, counted, and
+// reassigned — the sweep completes as long as one daemon lives — and the
+// merged stream is byte-identical to a local run of the same spec
+// (invariant 13, docs/ARCHITECTURE.md); --verify recomputes the spec
+// locally and checks exactly that. --flaky-plan injects deterministic
+// transport faults (drop/shortread/stall, fault grammar over per-endpoint
+// request ordinals) to rehearse failure handling without real packet loss.
 //
 // Attack NAMEs come from core::attack_registry() — `whisper_cli attacks`
 // lists them; anything registered there is runnable here, including through
@@ -61,9 +77,13 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "client/endpoint.h"
+#include "client/sweep_client.h"
+#include "client/wire.h"
 #include "core/attacks/common.h"
 #include "core/attacks/registry.h"
 #include "core/gadgets.h"
@@ -515,6 +535,98 @@ int cmd_matrix(const Args& args) {
   return 0;
 }
 
+/// Distributed sweep: shard --trials across --endpoints and merge by
+/// index. Exit 0 only on a complete (and, with --verify, byte-identical)
+/// merge; endpoint failures along the way are counters, not errors.
+int cmd_sweep(const Args& args) {
+  const std::string endpoints_csv = args.value("--endpoints", "");
+  if (endpoints_csv.empty()) {
+    std::fprintf(stderr,
+                 "whisper_cli sweep: --endpoints is required "
+                 "(comma-separated host:port / tcp:host:port / unix:/path)\n");
+    return 2;
+  }
+
+  runner::RunSpec spec;
+  spec.model = cpu_from(args);
+  spec.attack = args.value("--attack", "kaslr");
+  spec.trials = std::stoi(args.value("--trials", "8"));
+  spec.defenses = defenses_from(args);
+  spec.base_seed = std::stoull(args.value("--seed", "1"));
+  if (const auto p = noise::NoiseProfile::by_name(
+          args.value("--noise", "off")))
+    spec.noise = *p;
+  spec.adaptive = args.has("--adaptive");
+  apply_fault_flags(spec, args);
+
+  std::vector<std::shared_ptr<client::Endpoint>> pool;
+  for (const auto& ep : client::parse_endpoint_list(endpoints_csv))
+    pool.push_back(client::make_endpoint(ep));
+
+  client::SweepOptions opts;
+  opts.chunk_trials = std::stoi(args.value("--chunk", "4"));
+  opts.deadline_ms = std::stoi(args.value("--deadline-ms", "60000"));
+  opts.connect_timeout_ms =
+      std::stoi(args.value("--connect-timeout-ms", "2000"));
+  opts.endpoint_failures = std::stoi(args.value("--failures", "3"));
+  opts.flaky_plan = args.value("--flaky-plan", "");
+
+  client::SweepClient sweeper(opts);
+  const client::SweepResult r = sweeper.sweep(spec, pool);
+
+  std::printf("distributed sweep: %s across %zu endpoint(s)\n",
+              spec.label().c_str(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    std::printf("  %-32s %zu trial(s)\n", pool[i]->label().c_str(),
+                i < r.stats.trials_by_endpoint.size()
+                    ? r.stats.trials_by_endpoint[i]
+                    : std::size_t{0});
+  std::printf("  %zu/%d trials merged; %zu request(s), %zu unreachable, "
+              "%zu timed out, %zu reconnect(s), %zu chunk(s) reassigned, "
+              "%zu endpoint(s) dead, %zu duplicate trial(s)\n",
+              r.trials_received, spec.trials, r.stats.requests,
+              r.stats.unreachable, r.stats.timed_out, r.stats.reconnects,
+              r.stats.reassigned, r.stats.dead_endpoints,
+              r.stats.duplicate_trials);
+  if (!r.complete) {
+    if (r.error.empty())
+      std::fprintf(stderr,
+                   "whisper_cli sweep: incomplete (every endpoint died)\n");
+    else
+      std::fprintf(stderr, "whisper_cli sweep: %s\n", r.error.c_str());
+    return 1;
+  }
+
+  const std::string json = args.value("--json", "");
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "whisper_cli sweep: cannot write %s\n",
+                   json.c_str());
+      return 1;
+    }
+    for (const std::string& line : r.trial_lines)
+      std::fprintf(f, "%s\n", line.c_str());
+    std::fprintf(f, "%s\n", r.done_line.c_str());
+    std::fclose(f);
+    std::printf("  merged response stream written to %s\n", json.c_str());
+  }
+
+  if (args.has("--verify")) {
+    // Invariant 13, checked the direct way: rerun the whole spec locally
+    // and demand the distributed merge is the same bytes.
+    const auto local = runner::run(spec, std::stoi(args.value("--jobs", "1")));
+    const bool same = r.trial_lines == client::canonical_trial_lines(local) &&
+                      r.done_line == client::canonical_done_line(local);
+    std::printf("  --verify: merged stream %s the local runner::run bytes\n",
+                same ? "matches" : "DIVERGES from");
+    if (!same) return 1;
+  }
+
+  std::printf("  %s\n", r.done_line.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -531,10 +643,11 @@ int main(int argc, char** argv) try {
   if (cmd == "kaslr") return cmd_kaslr(args);
   if (cmd == "chaos") return cmd_chaos(args);
   if (cmd == "matrix") return cmd_matrix(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   std::fprintf(stderr,
                "usage: whisper_cli <models|tote|leak|kaslr|chaos|matrix|"
-               "attacks|defenses> [options]\n  see the header comment of "
-               "examples/whisper_cli.cpp\n");
+               "sweep|attacks|defenses> [options]\n  see the header comment "
+               "of examples/whisper_cli.cpp\n");
   return 2;
 } catch (const std::exception& e) {
   // Spec/plan validation errors (bad --attack, malformed --fault-plan, ...)

@@ -1,14 +1,17 @@
 // whisper_serve — the attack-as-a-service daemon.
 //
 //   whisper_serve [--socket PATH] [--jobs J] [--pool N]
-//   whisper_serve --request JSON [--socket PATH]
-//   whisper_serve --shutdown [--socket PATH]
+//   whisper_serve --listen HOST:PORT [--jobs J] [--pool N]
+//   whisper_serve --request JSON [--socket PATH | --connect HOST:PORT]
+//   whisper_serve --shutdown [--socket PATH | --connect HOST:PORT]
 //   whisper_serve --selftest
 //
 // Daemon mode binds a unix-domain socket (default /tmp/whisper_serve.sock)
-// and serves the newline-framed JSON protocol of src/serve/protocol.h:
-// verbs run, ping, list, metrics, shutdown. Try it with nothing fancier
-// than nc:
+// or, with --listen, a TCP host:port — same protocol, same bytes; TCP is
+// what makes a daemon one endpoint of a sweep pool (whisper_cli sweep
+// --endpoints). The newline-framed JSON protocol of src/serve/protocol.h
+// has verbs run, ping, list, metrics, shutdown. Try it with nothing
+// fancier than nc:
 //
 //   whisper_serve --socket /tmp/w.sock &
 //   printf '%s\n' '{"id":1,"verb":"run","attack":"cc","trials":2,"seed":7}' |
@@ -16,9 +19,10 @@
 //
 // --request sends one request line from the command line, prints every
 // response line to stdout, and exits when the request's stream terminates
-// (done/error/pong/attacks/metrics/bye). --shutdown is shorthand for
-// sending the shutdown verb. --selftest runs a loopback round-trip with no
-// socket at all and exits 0 on success (used as a smoke check).
+// (done/error/pong/attacks/metrics/bye); --connect targets a TCP daemon
+// instead of the unix socket. --shutdown is shorthand for sending the
+// shutdown verb. --selftest runs a loopback round-trip with no socket at
+// all and exits 0 on success (used as a smoke check).
 //
 // --jobs sets the worker count (throughput only: response bytes are
 // byte-identical for any value — invariant 11, docs/ARCHITECTURE.md);
@@ -26,12 +30,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/transport_loopback.h"
+#include "serve/transport_tcp.h"
 #include "serve/transport_unix.h"
 
 using namespace whisper;
@@ -57,8 +63,9 @@ void usage() {
       "whisper_serve — attack-as-a-service daemon\n"
       "\n"
       "  whisper_serve [--socket PATH] [--jobs J] [--pool N]\n"
-      "  whisper_serve --request JSON [--socket PATH]\n"
-      "  whisper_serve --shutdown [--socket PATH]\n"
+      "  whisper_serve --listen HOST:PORT [--jobs J] [--pool N]\n"
+      "  whisper_serve --request JSON [--socket PATH | --connect HOST:PORT]\n"
+      "  whisper_serve --shutdown [--socket PATH | --connect HOST:PORT]\n"
       "  whisper_serve --selftest\n"
       "\n"
       "Protocol: one JSON object per line; verbs run, ping, list, metrics,\n"
@@ -75,8 +82,12 @@ bool terminal_response(const std::string& line) {
 }
 
 /// One-shot client: send `request`, print responses until the stream ends.
-int send_request(const std::string& socket_path, const std::string& request) {
-  auto conn = serve::UnixSocketTransport::dial(socket_path);
+/// `tcp_address` (from --connect) wins over the unix socket path.
+int send_request(const std::string& socket_path, const std::string& tcp_address,
+                 const std::string& request) {
+  auto conn = tcp_address.empty()
+                  ? serve::UnixSocketTransport::dial(socket_path)
+                  : serve::TcpTransport::dial(tcp_address);
   if (!conn->write_line(request)) {
     std::fprintf(stderr, "whisper_serve: send failed\n");
     return 1;
@@ -135,24 +146,38 @@ int main(int argc, char** argv) {
 
   const std::string socket_path =
       args.value("--socket", "/tmp/whisper_serve.sock");
+  const std::string tcp_connect = args.value("--connect", "");
+  const std::string tcp_listen = args.value("--listen", "");
 
   try {
     if (args.has("--request"))
-      return send_request(socket_path, args.value("--request", ""));
+      return send_request(socket_path, tcp_connect,
+                          args.value("--request", ""));
     if (args.has("--shutdown"))
-      return send_request(socket_path, R"({"id":1,"verb":"shutdown"})");
+      return send_request(socket_path, tcp_connect,
+                          R"({"id":1,"verb":"shutdown"})");
 
-    // Daemon mode.
+    // Daemon mode: TCP with --listen, unix socket otherwise. Same server,
+    // same protocol, same response bytes either way.
     serve::ServerOptions opts;
     opts.jobs = std::stoi(args.value("--jobs", "1"));
     opts.pool_capacity =
         static_cast<std::size_t>(std::stoul(args.value("--pool", "4")));
-    serve::UnixSocketTransport transport(socket_path);
-    serve::Server server(transport, opts);
+    std::unique_ptr<serve::Transport> transport;
+    std::string where;
+    if (!tcp_listen.empty()) {
+      auto tcp = std::make_unique<serve::TcpTransport>(tcp_listen);
+      where = tcp->address();
+      transport = std::move(tcp);
+    } else {
+      transport = std::make_unique<serve::UnixSocketTransport>(socket_path);
+      where = socket_path;
+    }
+    serve::Server server(*transport, opts);
     server.start();
     std::fprintf(stderr,
                  "whisper_serve: listening on %s (jobs=%d, pool=%zu)\n",
-                 socket_path.c_str(), opts.jobs, opts.pool_capacity);
+                 where.c_str(), opts.jobs, opts.pool_capacity);
     server.wait_shutdown();
     server.stop();
     std::fprintf(stderr, "whisper_serve: bye\n");

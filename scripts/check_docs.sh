@@ -38,6 +38,10 @@
 #      docs/REPRODUCING.md, docs/ARCHITECTURE.md and README.md, and must
 #      appear in the generated docs/DEFENSE_MATRIX.md — registering a new
 #      attack without docs or a matrix refresh fails this check.
+#  12. The distributed sweep surface must be documented: every flag
+#      bench/dist_soak.cpp parses, the `whisper_cli sweep` subcommand and
+#      its `--endpoints` pool grammar, the BENCH_dist.json trajectory, and
+#      invariant 13 (distribution is invisible) in docs/ARCHITECTURE.md.
 #
 # Usage: check_docs.sh <repo-root> [build-dir]
 # Wired into ctest as `docs_reproducing_sync` (LABELS tier2).
@@ -270,6 +274,32 @@ for flag in $matrix_flags; do
   fi
 done
 
+# The distributed sweep surface: the soak harness's flags, the sweep
+# subcommand and its endpoint grammar, the trajectory name, and the
+# invariant it all hangs off.
+dist_flags=$(grep -oE '"--[a-z-]+"' "$root/bench/dist_soak.cpp" |
+             tr -d '"' | sort -u)
+for flag in $dist_flags; do
+  if ! grep -q -- "\`$flag" "$guide"; then
+    echo "FAIL: bench/dist_soak.cpp parses $flag but" \
+         "docs/REPRODUCING.md does not document it"
+    fail=1
+  fi
+done
+for needle in 'whisper_cli sweep' '--endpoints' 'BENCH_dist.json' \
+              'trial_first'; do
+  if ! grep -q -- "$needle" "$guide"; then
+    echo "FAIL: docs/REPRODUCING.md does not mention '$needle'" \
+         "(distributed sweep surface undocumented)"
+    fail=1
+  fi
+done
+if [[ -f "$arch_doc" ]] && ! grep -q "invariant 13" "$arch_doc"; then
+  echo "FAIL: docs/ARCHITECTURE.md does not state invariant 13" \
+       "(distribution is invisible)"
+  fail=1
+fi
+
 if [[ -n "$build" && -d "$build/bench" ]]; then
   for name in $documented; do
     if [[ -f "$root/bench/$name.cpp" && ! -x "$build/bench/$name" ]]; then
@@ -286,8 +316,9 @@ if [[ $fail -eq 0 ]]; then
        "$perf_flags" | wc -w)+$(echo "$cli_flags" | wc -w) harness+cli" \
        "flags, $(echo "$perf_cols" | wc -w) perf columns," \
        "$(echo "$verbs" | wc -w) serve verbs +" \
-       "$(echo "$serve_flags" | wc -w)+$(echo "$soak_flags" | wc -w)" \
-       "serve flags, $(echo "$defenses" | wc -w) defenses +" \
+       "$(echo "$serve_flags" | wc -w)+$(echo "$soak_flags" | wc -w)+$(echo \
+       "$dist_flags" | wc -w) serve+dist flags," \
+       "$(echo "$defenses" | wc -w) defenses +" \
        "$(echo "$matrix_flags" | wc -w) matrix flags," \
        "$(echo "$attacks" | wc -w) attacks, all in sync"
 fi

@@ -1,0 +1,209 @@
+#include "client/endpoint.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "serve/transport_tcp.h"
+#include "serve/transport_unix.h"
+
+namespace whisper::client {
+
+std::string EndpointSpec::canonical() const {
+  return (kind == Kind::kTcp ? "tcp:" : "unix:") + address;
+}
+
+EndpointSpec parse_endpoint(const std::string& text) {
+  EndpointSpec spec;
+  if (text.rfind("tcp:", 0) == 0) {
+    spec.kind = EndpointSpec::Kind::kTcp;
+    spec.address = text.substr(4);
+  } else if (text.rfind("unix:", 0) == 0) {
+    spec.kind = EndpointSpec::Kind::kUnix;
+    spec.address = text.substr(5);
+  } else if (!text.empty() && text[0] == '/') {
+    // A bare absolute path can only be a unix socket.
+    spec.kind = EndpointSpec::Kind::kUnix;
+    spec.address = text;
+  } else {
+    spec.kind = EndpointSpec::Kind::kTcp;
+    spec.address = text;
+  }
+  if (spec.kind == EndpointSpec::Kind::kTcp) {
+    const std::size_t colon = spec.address.rfind(':');
+    if (spec.address.empty() || colon == std::string::npos ||
+        colon + 1 >= spec.address.size())
+      throw std::invalid_argument(
+          "client: endpoint '" + text +
+          "' must be host:port, tcp:host:port, unix:/path, or /path");
+  } else if (spec.address.empty()) {
+    throw std::invalid_argument("client: endpoint '" + text +
+                                "' has an empty socket path");
+  }
+  return spec;
+}
+
+std::vector<EndpointSpec> parse_endpoint_list(const std::string& csv) {
+  std::string stripped;
+  for (const char c : csv)
+    if (c != ' ') stripped += c;
+  if (stripped.empty())
+    throw std::invalid_argument("client: --endpoints list is empty");
+  // An empty element is a typo, not something to skip quietly: the list
+  // order decides which endpoint owns which chunks.
+  std::vector<EndpointSpec> specs;
+  std::string token;
+  const auto flush = [&] {
+    if (token.empty())
+      throw std::invalid_argument(
+          "client: --endpoints has an empty element (doubled or trailing "
+          "comma) in '" +
+          csv + "'");
+    specs.push_back(parse_endpoint(token));
+    token.clear();
+  };
+  for (const char c : stripped) {
+    if (c == ',')
+      flush();
+    else
+      token += c;
+  }
+  flush();
+  return specs;
+}
+
+namespace {
+
+class TcpEndpoint : public Endpoint {
+ public:
+  explicit TcpEndpoint(std::string address) : address_(std::move(address)) {}
+  std::unique_ptr<serve::Connection> dial(int timeout_ms) override {
+    return serve::TcpTransport::dial(address_, timeout_ms);
+  }
+  std::string label() const override { return "tcp:" + address_; }
+
+ private:
+  std::string address_;
+};
+
+class UnixEndpoint : public Endpoint {
+ public:
+  explicit UnixEndpoint(std::string path) : path_(std::move(path)) {}
+  std::unique_ptr<serve::Connection> dial(int timeout_ms) override {
+    return serve::UnixSocketTransport::dial(path_, timeout_ms);
+  }
+  std::string label() const override { return "unix:" + path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Client side of a loopback connection pair as a serve::Connection.
+class LoopbackClientConnection : public serve::Connection {
+ public:
+  LoopbackClientConnection(std::unique_ptr<serve::LoopbackClient> client,
+                           std::string label)
+      : client_(std::move(client)), label_(std::move(label)) {}
+  ~LoopbackClientConnection() override { close(); }
+
+  bool read_line(std::string& out) override { return client_->recv(out); }
+  serve::ReadStatus read_line_for(std::string& out, int timeout_ms) override {
+    return client_->recv_for(out, timeout_ms);
+  }
+  bool write_line(const std::string& line) override {
+    return client_->send(line);
+  }
+  void close() override { client_->close(); }
+  [[nodiscard]] std::string peer() const override { return label_; }
+
+ private:
+  std::unique_ptr<serve::LoopbackClient> client_;
+  std::string label_;
+};
+
+/// Forwards to a shared inner connection so KillSwitchEndpoint can keep a
+/// weak handle for severing while the sweep worker owns the unique_ptr.
+class SharedConnection : public serve::Connection {
+ public:
+  explicit SharedConnection(std::shared_ptr<serve::Connection> inner)
+      : inner_(std::move(inner)) {}
+  bool read_line(std::string& out) override { return inner_->read_line(out); }
+  serve::ReadStatus read_line_for(std::string& out, int timeout_ms) override {
+    return inner_->read_line_for(out, timeout_ms);
+  }
+  bool write_line(const std::string& line) override {
+    return inner_->write_line(line);
+  }
+  void close() override { inner_->close(); }
+  [[nodiscard]] std::string peer() const override { return inner_->peer(); }
+
+ private:
+  std::shared_ptr<serve::Connection> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<Endpoint> make_endpoint(const EndpointSpec& spec) {
+  if (spec.kind == EndpointSpec::Kind::kTcp)
+    return std::make_unique<TcpEndpoint>(spec.address);
+  return std::make_unique<UnixEndpoint>(spec.address);
+}
+
+LoopbackEndpoint::LoopbackEndpoint(serve::LoopbackTransport& transport,
+                                   std::string label)
+    : transport_(transport), label_(std::move(label)) {}
+
+std::unique_ptr<serve::Connection> LoopbackEndpoint::dial(int timeout_ms) {
+  (void)timeout_ms;  // connect() never blocks
+  auto client = transport_.connect();
+  // A shut-down transport hands back a dead client whose first send fails;
+  // probe with a blank keep-alive line (the server skips blanks) so a
+  // dead daemon surfaces here as DialError, matching the socket paths.
+  if (!client->send(""))
+    throw serve::DialError("cannot connect to " + label_ +
+                           ": transport shut down");
+  return std::make_unique<LoopbackClientConnection>(std::move(client), label_);
+}
+
+std::string LoopbackEndpoint::label() const { return label_; }
+
+KillSwitchEndpoint::KillSwitchEndpoint(std::unique_ptr<Endpoint> inner)
+    : inner_(std::move(inner)) {}
+
+void KillSwitchEndpoint::kill() {
+  std::shared_ptr<serve::Connection> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dead_ = true;
+    live = live_.lock();
+  }
+  if (live) live->close();
+}
+
+bool KillSwitchEndpoint::killed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+std::unique_ptr<serve::Connection> KillSwitchEndpoint::dial(int timeout_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_)
+      throw serve::DialError("cannot connect to " + inner_->label() +
+                             ": endpoint killed");
+  }
+  std::shared_ptr<serve::Connection> conn = inner_->dial(timeout_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      conn->close();
+      throw serve::DialError("cannot connect to " + inner_->label() +
+                             ": endpoint killed");
+    }
+    live_ = conn;
+  }
+  return std::make_unique<SharedConnection>(std::move(conn));
+}
+
+std::string KillSwitchEndpoint::label() const { return inner_->label(); }
+
+}  // namespace whisper::client

@@ -26,7 +26,7 @@ std::string trim(const std::string& s) {
   throw std::invalid_argument("fault: bad plan point '" + token + "': " + why +
                               " (grammar: kind@trial[.attempt|*] or "
                               "kind~permille@seed; kinds: throw, corrupt, "
-                              "stall, sleep)");
+                              "stall, sleep, drop, shortread)");
 }
 
 Kind parse_kind(const std::string& token, const std::string& name) {
@@ -34,6 +34,8 @@ Kind parse_kind(const std::string& token, const std::string& name) {
   if (name == "corrupt") return Kind::kCorrupt;
   if (name == "stall") return Kind::kStall;
   if (name == "sleep") return Kind::kSleep;
+  if (name == "drop") return Kind::kDrop;
+  if (name == "shortread") return Kind::kShortRead;
   bad(token, "unknown fault kind '" + name + "'");
 }
 
@@ -90,6 +92,8 @@ const char* to_string(Kind k) noexcept {
     case Kind::kCorrupt: return "corrupt";
     case Kind::kStall: return "stall";
     case Kind::kSleep: return "sleep";
+    case Kind::kDrop: return "drop";
+    case Kind::kShortRead: return "shortread";
   }
   return "?";
 }

@@ -22,10 +22,21 @@
 //                                           attempt of trial i iff
 //                                           mix(seed, i) % 1000 < permille
 //   kind   := 'throw' | 'corrupt' | 'stall' | 'sleep'
+//           | 'drop' | 'shortread'             (transport faults, below)
 //
 //   "throw@2;corrupt@5;stall@8"   — one fault of three classes
 //   "throw@3*"                    — trial 3 can never succeed
 //   "throw~50@1234"               — ~5% of trials throw once, seeded
+//
+// The same grammar doubles as the sweep client's flaky-transport plan
+// (whisper_cli sweep --flaky-plan, client::FlakyConnection): there the
+// coordinate is the per-endpoint request ordinal instead of the trial
+// index, and the transport kinds apply — 'drop' severs the connection at
+// that request, 'shortread' truncates its next response line, 'stall'
+// freezes reads until the deadline. runner::validate() rejects the
+// transport kinds in RunSpec::fault_plan, and the sweep client rejects
+// the trial-only kinds in a flaky plan, so a plan pasted into the wrong
+// knob fails loudly.
 //
 // FaultPlan::parse() throws std::invalid_argument with a pointed message on
 // any malformed spec; runner::validate() calls it before the fan-out so a
@@ -44,6 +55,10 @@ enum class Kind : std::uint8_t {
   kCorrupt,  // flip a byte in a pooled machine's physical memory
   kStall,    // advance the simulated clock past the trial cycle budget
   kSleep,    // sleep the host thread past the wall-clock watchdog
+  // Transport faults (client::FlakyConnection only; invalid in a trial
+  // plan — runner::validate() refuses them):
+  kDrop,       // sever the connection when writing this request
+  kShortRead,  // truncate the next response line, then sever
 };
 [[nodiscard]] const char* to_string(Kind k) noexcept;
 

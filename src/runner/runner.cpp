@@ -100,6 +100,11 @@ void validate(const RunSpec& spec) {
   // Parse (and thereby validate) the fault plan; grammar errors surface
   // here, before any trial is scheduled.
   const fault::FaultPlan plan = fault::FaultPlan::parse(spec.fault_plan);
+  if (plan.uses(fault::Kind::kDrop) || plan.uses(fault::Kind::kShortRead))
+    throw std::invalid_argument(
+        "runner: fault plan injects a transport fault ('drop'/'shortread'); "
+        "those belong in the sweep client's flaky plan (whisper_cli sweep "
+        "--flaky-plan), not in a trial plan");
   if (plan.uses(fault::Kind::kStall) && spec.trial_cycle_budget == 0)
     throw std::invalid_argument(
         "runner: fault plan injects 'stall' but trial_cycle_budget is 0 — "

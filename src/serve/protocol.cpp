@@ -450,6 +450,13 @@ Request parse_request(const std::string& line) {
   if (req.verb == "run") {
     for (const auto& [key, v] : doc.object) {
       if (key == "id" || key == "verb") continue;
+      if (key == "trial_first") {
+        // Shard window start (see Request::trial_first) — a request
+        // member, not a RunSpec knob, so it is handled here rather than
+        // in apply_run_field().
+        req.trial_first = want_u64(v, "trial_first");
+        continue;
+      }
       if (!apply_run_field(req.spec, key, v))
         throw ProtocolError("unknown field '" + key + "' in run request");
     }

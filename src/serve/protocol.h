@@ -94,6 +94,15 @@ struct Request {
   std::string verb;
   /// Fully-populated spec for verb == "run"; defaulted otherwise.
   runner::RunSpec spec;
+  /// Absolute index of the first trial this run request covers ("run"
+  /// only; default 0). A distributed sweep shards one logical run into
+  /// requests of spec.trials trials starting here — the server executes
+  /// trials [trial_first, trial_first + trials) of the SAME seed/payload/
+  /// fault schedule a local runner::run would, so response "index" fields
+  /// are absolute and a merge-by-index is byte-identical (invariant 13).
+  /// Not a RunSpec field: the spec describes the whole run, this picks
+  /// the window.
+  std::uint64_t trial_first = 0;
 };
 
 /// Parse one request line into a Request. Enforces kMaxRequestBytes, the

@@ -187,6 +187,7 @@ bool Server::handle_line(const std::string& line,
   RunJob job;
   job.id = req.id;
   job.spec = req.spec;
+  job.trial_first = req.trial_first;
   job.conn = conn;
   if (!scheduler_.push(client, std::move(job))) {
     count("serve.errors");
@@ -226,7 +227,12 @@ void Server::execute_run(const RunJob& job) {
   merged.spec = spec;
   const std::size_t n =
       spec.trials > 0 ? static_cast<std::size_t>(spec.trials) : 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  // trial_first offsets the window, not the schedule: trial i here is
+  // bit-identical to trial i of an unsharded run (same trial_seed(base, i),
+  // same payload_seed ^ i, same fault points), which is what lets a
+  // distributed client merge shards by index into the exact local stream.
+  const std::size_t first = static_cast<std::size_t>(job.trial_first);
+  for (std::size_t i = first; i < first + n; ++i) {
     runner::ScheduledTrial t =
         runner::run_scheduled_trial(spec, i, plan, verify, &pool_);
     job.conn->write_line(response_trial(job.id, i, t));

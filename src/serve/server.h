@@ -86,6 +86,9 @@ class Server {
   struct RunJob {
     std::uint64_t id = 0;  // request id, echoed on every response line
     runner::RunSpec spec;
+    /// Shard window: execute trials [trial_first, trial_first +
+    /// spec.trials) of the spec's absolute schedule (Request::trial_first).
+    std::uint64_t trial_first = 0;
     std::shared_ptr<Connection> conn;
   };
 

@@ -2,30 +2,41 @@
 //
 // The serving stack is transport-agnostic: the protocol is newline-framed
 // JSON in both directions (src/serve/protocol.h), so a transport only has
-// to move lines. Two implementations:
+// to move lines. Three implementations:
 //
 //   * LoopbackTransport (transport_loopback.h) — in-process queue pairs;
 //     what the tests and bench/serve_soak drive, no sockets, no fds.
 //   * UnixSocketTransport (transport_unix.h) — a SOCK_STREAM unix-domain
 //     socket; what examples/whisper_serve binds by default.
+//   * TcpTransport (transport_tcp.h) — TCP on host:port; what turns one
+//     daemon into one endpoint of a sweep pool (whisper_serve --listen,
+//     whisper_cli sweep --endpoints).
 //
 // Threading contract:
 //   * accept() is called from exactly one thread (the server's accept
 //     loop); it blocks until a client connects and returns nullptr once
 //     shutdown() has been called.
-//   * Connection::read_line() is called from exactly one thread per
-//     connection (the server's per-connection reader).
+//   * Connection::read_line() / read_line_for() are called from exactly
+//     one thread per connection (the server's per-connection reader, or
+//     the sweep client's per-endpoint worker).
 //   * Connection::write_line() is thread-safe — any worker may stream
 //     response lines at any time; each line is written atomically (no
 //     interleaving inside a line).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 namespace whisper::serve {
 
-/// One connected client, as the server sees it.
+/// Outcome of a timed read. kTimeout leaves the connection (and any
+/// partially buffered line) intact — the caller may retry or tear down.
+enum class ReadStatus : std::uint8_t { kLine, kTimeout, kClosed };
+
+/// One connected peer: the server's view of a client, or (for dialed
+/// connections) the client's view of a daemon.
 class Connection {
  public:
   virtual ~Connection() = default;
@@ -34,6 +45,16 @@ class Connection {
   /// stripped). Returns false once the peer has closed and every buffered
   /// line has been consumed.
   virtual bool read_line(std::string& out) = 0;
+
+  /// Timed read: block up to `timeout_ms` milliseconds for the next line.
+  /// `timeout_ms < 0` blocks forever (== read_line). The base default has
+  /// no timer — transports that can wait bounded (fd poll, channel
+  /// wait_for) override; the server only ever blocks, so it keeps the
+  /// plain path.
+  virtual ReadStatus read_line_for(std::string& out, int timeout_ms) {
+    (void)timeout_ms;
+    return read_line(out) ? ReadStatus::kLine : ReadStatus::kClosed;
+  }
 
   /// Queue one response line (a trailing newline is appended). Thread-safe;
   /// atomic per line. Returns false when the connection is gone.
@@ -45,6 +66,16 @@ class Connection {
 
   /// Short peer label for logs and metrics ("loopback:2", "unix:7").
   [[nodiscard]] virtual std::string peer() const = 0;
+};
+
+/// A dial that could not produce a live connection: refused, unreachable,
+/// nonexistent socket path, or connect timeout. Typed so the sweep client
+/// can count it as `unreachable` and back off instead of aborting — a dead
+/// endpoint is data, not a crash.
+class DialError : public std::runtime_error {
+ public:
+  explicit DialError(const std::string& what)
+      : std::runtime_error("serve: " + what) {}
 };
 
 class Transport {

@@ -1,5 +1,7 @@
 #include "serve/transport_loopback.h"
 
+#include <chrono>
+
 namespace whisper::serve {
 
 bool LineChannel::push(const std::string& line) {
@@ -19,6 +21,21 @@ bool LineChannel::pop(std::string& out) {
   out = std::move(lines_.front());
   lines_.pop_front();
   return true;
+}
+
+ReadStatus LineChannel::pop_for(std::string& out, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto ready = [this] { return closed_ || !lines_.empty(); };
+  if (timeout_ms < 0) {
+    cv_.wait(lock, ready);
+  } else if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                           ready)) {
+    return ReadStatus::kTimeout;
+  }
+  if (lines_.empty()) return ReadStatus::kClosed;  // closed and drained
+  out = std::move(lines_.front());
+  lines_.pop_front();
+  return ReadStatus::kLine;
 }
 
 bool LineChannel::try_pop(std::string& out) {
@@ -52,6 +69,10 @@ bool LoopbackClient::send(const std::string& line) {
 }
 
 bool LoopbackClient::recv(std::string& out) { return to_client_->pop(out); }
+
+ReadStatus LoopbackClient::recv_for(std::string& out, int timeout_ms) {
+  return to_client_->pop_for(out, timeout_ms);
+}
 
 bool LoopbackClient::try_recv(std::string& out) {
   return to_client_->try_pop(out);

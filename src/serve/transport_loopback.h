@@ -35,6 +35,10 @@ class LineChannel {
   /// closed AND empty — buffered lines are always delivered first.
   bool pop(std::string& out);
 
+  /// Timed pop: wait up to `timeout_ms` (< 0 = block like pop()). Same
+  /// drain-then-EOF close semantics; kTimeout leaves the queue untouched.
+  ReadStatus pop_for(std::string& out, int timeout_ms);
+
   /// Non-blocking pop for drains; same close semantics as pop().
   bool try_pop(std::string& out);
 
@@ -59,6 +63,10 @@ class LoopbackClient {
   /// Block for the next response line. False once the server side has
   /// closed and every buffered response was consumed.
   bool recv(std::string& out);
+
+  /// Timed recv — the loopback spelling of FdConnection::read_line_for(),
+  /// so the sweep client's deadlines work identically on both transports.
+  ReadStatus recv_for(std::string& out, int timeout_ms);
 
   /// Non-blocking recv.
   bool try_recv(std::string& out);

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
-#if defined(__unix__) || defined(__APPLE__)
+#include "serve/fd_connection.h"
+
+#if defined(WHISPER_HAVE_FD_CONNECTION)
 #define WHISPER_HAVE_UNIX_SOCKETS 1
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -10,7 +12,6 @@
 
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #endif
 
 namespace whisper::serve {
@@ -18,82 +19,6 @@ namespace whisper::serve {
 #if WHISPER_HAVE_UNIX_SOCKETS
 
 namespace {
-
-#ifndef MSG_NOSIGNAL
-// macOS spells SIGPIPE suppression differently (SO_NOSIGPIPE); writes to a
-// dead peer there surface as EPIPE after the signal is ignored per-process
-// by the caller. Linux — the platform we actually run on — has the flag.
-#define MSG_NOSIGNAL 0
-#endif
-
-class FdConnection : public Connection {
- public:
-  FdConnection(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
-  ~FdConnection() override { close(); }
-
-  bool read_line(std::string& out) override {
-    out.clear();
-    for (;;) {
-      // Serve lines straight from the buffer while we have any.
-      const std::size_t nl = buf_.find('\n');
-      if (nl != std::string::npos) {
-        out = buf_.substr(0, nl);
-        buf_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-      if (n > 0) {
-        buf_.append(chunk, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      // EOF or error: a final unterminated fragment still counts as a
-      // line so a peer that forgot the trailing newline is not ignored.
-      if (!buf_.empty()) {
-        out = std::move(buf_);
-        buf_.clear();
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool write_line(const std::string& line) override {
-    // One lock per line keeps concurrent workers' lines from interleaving.
-    std::lock_guard<std::mutex> lock(write_mu_);
-    std::string framed = line;
-    framed.push_back('\n');
-    std::size_t off = 0;
-    while (off < framed.size()) {
-      const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
-                               MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      off += static_cast<std::size_t>(n);
-    }
-    return true;
-  }
-
-  void close() override {
-    std::lock_guard<std::mutex> lock(write_mu_);
-    if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-
-  [[nodiscard]] std::string peer() const override { return peer_; }
-
- private:
-  int fd_;
-  std::string peer_;
-  std::string buf_;
-  std::mutex write_mu_;
-};
 
 sockaddr_un make_addr(const std::string& path) {
   sockaddr_un addr{};
@@ -148,18 +73,10 @@ void UnixSocketTransport::shutdown() {
   }
 }
 
-std::unique_ptr<Connection> UnixSocketTransport::dial(const std::string& path) {
+std::unique_ptr<Connection> UnixSocketTransport::dial(const std::string& path,
+                                                      int timeout_ms) {
   const sockaddr_un addr = make_addr(path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0)
-    throw std::runtime_error("serve: socket() failed: " +
-                             std::string(std::strerror(errno)));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    throw std::runtime_error("serve: cannot connect to " + path + ": " + err);
-  }
+  const int fd = dial_fd(AF_UNIX, &addr, sizeof addr, timeout_ms, path);
   return std::make_unique<FdConnection>(fd, "unix:dial");
 }
 
@@ -175,7 +92,8 @@ UnixSocketTransport::UnixSocketTransport(const std::string& path)
 UnixSocketTransport::~UnixSocketTransport() = default;
 std::unique_ptr<Connection> UnixSocketTransport::accept() { return nullptr; }
 void UnixSocketTransport::shutdown() {}
-std::unique_ptr<Connection> UnixSocketTransport::dial(const std::string&) {
+std::unique_ptr<Connection> UnixSocketTransport::dial(const std::string&,
+                                                      int) {
   throw std::runtime_error("serve: unix-domain sockets unavailable");
 }
 

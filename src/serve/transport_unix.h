@@ -29,9 +29,13 @@ class UnixSocketTransport : public Transport {
 
   /// Client-side convenience: connect to `path` and wrap the fd in a
   /// Connection (read_line ← responses, write_line → requests). Used by
-  /// `whisper_serve --request` one-shot mode. Throws on failure.
+  /// `whisper_serve --request` one-shot mode and the sweep client's unix
+  /// endpoints. `timeout_ms` bounds the connect (< 0 = block); the same
+  /// knob TcpTransport::dial() takes. Throws DialError — typed, so a
+  /// nonexistent or stale socket path is a countable failure, never a
+  /// hang — and std::runtime_error for a path too long to encode.
   [[nodiscard]] static std::unique_ptr<Connection> dial(
-      const std::string& path);
+      const std::string& path, int timeout_ms = -1);
 
  private:
   std::string path_;
